@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's tables and figures against
+// the simulated clusters and prints them (or writes one file per artifact
+// with -out).
+//
+// Usage:
+//
+//	experiments                 # everything, paper order
+//	experiments -id fig8        # one artifact
+//	experiments -fast           # reduced grids (quick look)
+//	experiments -out results/   # write fig8.txt, table2.txt, ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hybridperf/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		id      = flag.String("id", "", "artifact id (fig3, fig5-11, table2, table3, whatif); empty = all")
+		fast    = flag.Bool("fast", false, "reduced grids and input class")
+		seed    = flag.Int64("seed", 0, "seed (0 = default)")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+		out     = flag.String("out", "", "directory to write one .txt per artifact")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.Config{Seed: *seed, Workers: *workers, Fast: *fast})
+	var arts []*experiments.Artifact
+	if *id != "" {
+		a, err := r.ByID(*id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arts = append(arts, a)
+	} else {
+		var err error
+		arts, err = r.All()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, a := range arts {
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*out, a.ID+".txt")
+			if err := os.WriteFile(path, []byte(a.Title+"\n\n"+a.Text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+			continue
+		}
+		fmt.Printf("==== %s ====\n\n%s\n", a.Title, a.Text)
+	}
+}

@@ -1,0 +1,75 @@
+// Command hybridsim runs one direct measurement of a hybrid program on the
+// simulated cluster and reports time, energy, counters and the mpiP-style
+// communication profile — the "measured" side of the paper's validation.
+//
+// Usage:
+//
+//	hybridsim -system xeon -program SP -class A -n 4 -c 8 -f 1.8 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hybridperf"
+	"hybridperf/internal/exec"
+	"hybridperf/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hybridsim: ")
+	var (
+		system   = flag.String("system", "xeon", "cluster profile: xeon or arm")
+		program  = flag.String("program", "SP", "program: LU, SP, BT, CP or LB")
+		class    = flag.String("class", "S", "input class: T, S, A or C")
+		n        = flag.Int("n", 2, "number of nodes")
+		c        = flag.Int("c", 1, "cores per node")
+		fGHz     = flag.Float64("f", 0, "core frequency [GHz]; 0 = fmax")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		timeline = flag.Bool("timeline", false, "render a per-rank phase Gantt chart")
+	)
+	flag.Parse()
+
+	sys, err := hybridperf.SystemByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := hybridperf.ProgramByName(*program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := *fGHz * 1e9
+	if f == 0 {
+		f = sys.FMax()
+	}
+	cfg := hybridperf.Config{Nodes: *n, Cores: *c, Freq: f}
+	res, err := exec.Run(exec.Request{
+		Prof: sys, Spec: prog, Class: hybridperf.Class(*class), Cfg: cfg,
+		Seed: *seed, Trace: *timeline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	fmt.Fprintf(w, "program      %s (%s, %s)\n", prog.Name, prog.Suite, prog.Lang)
+	fmt.Fprintf(w, "system       %s\n", sys.Name)
+	fmt.Fprintf(w, "config       %v  class %s\n", cfg, *class)
+	fmt.Fprintf(w, "time         %.2f s\n", res.Time)
+	fmt.Fprintf(w, "energy       %.3f kJ metered (%.3f kJ integrated)\n", res.MeasuredEnergy/1e3, res.Energy.Total()/1e3)
+	fmt.Fprintf(w, "  cpu %.3f  mem %.3f  net %.3f  idle %.3f kJ\n",
+		res.Energy.CPU/1e3, res.Energy.Mem/1e3, res.Energy.Net/1e3, res.Energy.Idle/1e3)
+	t := res.Totals
+	fmt.Fprintf(w, "counters     w=%.3g  b=%.3g  m=%.3g cycles, U=%.3f\n",
+		t.WorkCycles, t.BStallCycles, t.MemStallCycles, res.Utilization)
+	if res.Comm.TotalMsgs > 0 {
+		fmt.Fprintf(w, "mpi          eta=%.0f msgs/rank  nu=%.0f B/msg  switch rho=%.2f  mean wait=%.4f s\n",
+			res.Comm.MsgsPerRank, res.Comm.BytesPerMsg, res.Comm.SwitchStats.Utilization, res.Comm.SwitchStats.MeanWait)
+	}
+	if *timeline {
+		fmt.Fprintf(w, "\n%s", trace.Gantt(res.Trace, 100))
+	}
+}

@@ -1,0 +1,97 @@
+// Command pareto explores a configuration space with the analytical model
+// and prints the time-energy Pareto frontier, optionally answering the
+// paper's two queries: minimum energy under a deadline and minimum time
+// under an energy budget.
+//
+// Usage:
+//
+//	pareto -system xeon -program SP -class A -maxnodes 256 -pow2
+//	pareto -system arm -program CP -class A -maxnodes 20 -deadline 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hybridperf"
+	"hybridperf/internal/pareto"
+	"hybridperf/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pareto: ")
+	var (
+		system   = flag.String("system", "xeon", "cluster profile: xeon or arm")
+		program  = flag.String("program", "SP", "program: LU, SP, BT, CP or LB")
+		class    = flag.String("class", "A", "input class: T, S, A or C")
+		maxNodes = flag.Int("maxnodes", 0, "largest node count (0 = testbed size)")
+		pow2     = flag.Bool("pow2", false, "powers-of-two node counts (Figure 8 style)")
+		deadline = flag.Float64("deadline", 0, "execution-time deadline [s] (0 = none)")
+		budget   = flag.Float64("budget", 0, "energy budget [J] (0 = none)")
+		seed     = flag.Int64("seed", 42, "characterisation seed")
+	)
+	flag.Parse()
+
+	sys, err := hybridperf.SystemByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := hybridperf.ProgramByName(*program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hybridperf.Characterize(sys, prog, &hybridperf.CharacterizeOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	max := *maxNodes
+	if max == 0 {
+		max = sys.MaxNodes
+	}
+	var nodes []int
+	if *pow2 {
+		nodes = pareto.PowersOfTwo(max)
+	} else {
+		nodes = pareto.Range(1, max)
+	}
+	cfgs := model.Space(nodes)
+	points, front, err := model.Explore(cfgs, hybridperf.Class(*class))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	fmt.Fprintf(w, "%s on %s, class %s: %d configurations, %d Pareto-optimal\n\n",
+		prog.Name, sys.Name, *class, len(points), len(front))
+	var rows [][]string
+	for _, p := range front {
+		rows = append(rows, []string{
+			p.Cfg.String(),
+			fmt.Sprintf("%.1f", p.Pred.T),
+			fmt.Sprintf("%.2f", p.Pred.E/1e3),
+			fmt.Sprintf("%.2f", p.Pred.UCR),
+		})
+	}
+	fmt.Fprintln(w, textplot.Table([]string{"(n,c,f[GHz])", "Time[s]", "Energy[kJ]", "UCR"}, rows))
+
+	if *deadline > 0 {
+		if p, ok := pareto.MinEnergyWithinDeadline(points, *deadline); ok {
+			fmt.Fprintf(w, "min energy within deadline %.1f s: %v  T=%.1f s  E=%.2f kJ  UCR=%.2f\n",
+				*deadline, p.Cfg, p.Pred.T, p.Pred.E/1e3, p.Pred.UCR)
+		} else {
+			fmt.Fprintf(w, "no configuration meets deadline %.1f s\n", *deadline)
+		}
+	}
+	if *budget > 0 {
+		if p, ok := pareto.MinTimeWithinBudget(points, *budget); ok {
+			fmt.Fprintf(w, "min time within budget %.0f J: %v  T=%.1f s  E=%.2f kJ  UCR=%.2f\n",
+				*budget, p.Cfg, p.Pred.T, p.Pred.E/1e3, p.Pred.UCR)
+		} else {
+			fmt.Fprintf(w, "no configuration fits budget %.0f J\n", *budget)
+		}
+	}
+}

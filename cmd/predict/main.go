@@ -1,0 +1,137 @@
+// Command predict characterises a program and prints the analytical
+// model's time-energy prediction for one configuration, with the full
+// Eq. (1) and Eq. (8) breakdowns — or, with -grid, for the entire
+// validation configuration grid.
+//
+// Usage:
+//
+//	predict -system xeon -program SP -class A -n 8 -c 8 -f 1.8
+//	predict -system arm -program CP -class A -grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hybridperf"
+	"hybridperf/internal/core"
+	"hybridperf/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predict: ")
+	var (
+		system  = flag.String("system", "xeon", "cluster profile: xeon or arm")
+		program = flag.String("program", "SP", "program: LU, SP, BT, CP or LB")
+		class   = flag.String("class", "A", "input class: T, S, A or C")
+		n       = flag.Int("n", 4, "number of nodes")
+		c       = flag.Int("c", 0, "cores per node (0 = all)")
+		fGHz    = flag.Float64("f", 0, "core frequency [GHz]; 0 = fmax")
+		grid    = flag.Bool("grid", false, "predict the whole n-{1,2,4,8} x c x f grid")
+		seed    = flag.Int64("seed", 42, "characterisation seed")
+		inputs  = flag.String("inputs", "", "load saved model inputs (from `characterize -o`) instead of re-characterising")
+		sens    = flag.Bool("sensitivity", false, "also print input sensitivities (+10% per input)")
+	)
+	flag.Parse()
+
+	sys, err := hybridperf.SystemByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := hybridperf.ProgramByName(*program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var model *hybridperf.Model
+	if *inputs != "" {
+		f, err := os.Open(*inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, err := core.LoadInputs(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = hybridperf.NewModel(sys, prog, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		model, err = hybridperf.Characterize(sys, prog, &hybridperf.CharacterizeOptions{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *grid {
+		var rows [][]string
+		for _, nn := range []int{1, 2, 4, 8} {
+			for cc := 1; cc <= sys.CoresPerNode; cc++ {
+				for _, f := range sys.Frequencies {
+					cfg := hybridperf.Config{Nodes: nn, Cores: cc, Freq: f}
+					p, err := model.Predict(cfg, hybridperf.Class(*class))
+					if err != nil {
+						log.Fatal(err)
+					}
+					rows = append(rows, []string{
+						cfg.String(),
+						fmt.Sprintf("%.1f", p.T),
+						fmt.Sprintf("%.2f", p.E/1e3),
+						fmt.Sprintf("%.2f", p.UCR),
+					})
+				}
+			}
+		}
+		fmt.Fprintln(os.Stdout, textplot.Table([]string{"(n,c,f[GHz])", "T[s]", "E[kJ]", "UCR"}, rows))
+		return
+	}
+
+	cores := *c
+	if cores == 0 {
+		cores = sys.CoresPerNode
+	}
+	f := *fGHz * 1e9
+	if f == 0 {
+		f = sys.FMax()
+	}
+	cfg := hybridperf.Config{Nodes: *n, Cores: cores, Freq: f}
+	p, err := model.Predict(cfg, hybridperf.Class(*class))
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "%s on %s, class %s, config %v\n", prog.Name, sys.Name, *class, cfg)
+	fmt.Fprintf(w, "T    = %.2f s   (TCPU %.2f + TwNet %.2f + TsNet %.2f + TMem %.2f)\n",
+		p.T, p.TCPU, p.TwNet, p.TsNet, p.TMem)
+	fmt.Fprintf(w, "E    = %.3f kJ (ECPU %.3f + EMem %.3f + ENet %.3f + EIdle %.3f)\n",
+		p.E/1e3, p.ECPU/1e3, p.EMem/1e3, p.ENet/1e3, p.EIdle/1e3)
+	fmt.Fprintf(w, "UCR  = %.3f\n", p.UCR)
+	if p.Eta > 0 {
+		fmt.Fprintf(w, "comm eta=%.0f msgs/rank, nu=%.0f B, switch rho=%.2f\n", p.Eta, p.Nu, p.NetRho)
+	}
+
+	if *sens {
+		S, err := prog.Iterations(hybridperf.Class(*class))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ss, err := model.Core().Sensitivities(cfg, S, 1.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rows [][]string
+		for _, s := range ss {
+			rows = append(rows, []string{
+				s.Input,
+				fmt.Sprintf("%+.2f%%", s.DTPct),
+				fmt.Sprintf("%+.2f%%", s.DEPct),
+			})
+		}
+		fmt.Fprintf(w, "\nsensitivity to a +10%% change of each input:\n")
+		fmt.Fprintln(w, textplot.Table([]string{"input", "dT", "dE"}, rows))
+	}
+}

@@ -1,0 +1,119 @@
+// Command validate compares model predictions against direct simulation
+// over the validation configuration grid, printing per-program mean and
+// standard deviation of the time and energy errors — the repository's
+// Table 2.
+//
+// Usage:
+//
+//	validate -system xeon -class A
+//	validate -system arm -program CP -class S
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hybridperf/internal/exec"
+	"hybridperf/internal/experiments"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/stats"
+	"hybridperf/internal/textplot"
+	"hybridperf/internal/workload"
+
+	"hybridperf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("validate: ")
+	var (
+		system  = flag.String("system", "xeon", "cluster profile: xeon or arm")
+		program = flag.String("program", "", "program (empty = all five)")
+		class   = flag.String("class", "A", "input class for measured runs")
+		seed    = flag.Int64("seed", 42, "seed")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+		full    = flag.Bool("full", false, "use the full Table 2 artifact (both systems, all programs)")
+	)
+	flag.Parse()
+
+	if *full {
+		r := experiments.NewRunner(experiments.Config{Seed: *seed, Workers: *workers})
+		a, err := r.Table2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(a.Text)
+		return
+	}
+
+	sys, err := machine.ByName(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var specs []*workload.Spec
+	if *program == "" {
+		specs = workload.Programs()
+	} else {
+		s, err := workload.ByName(*program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = []*workload.Spec{s}
+	}
+
+	var cfgs []machine.Config
+	for _, n := range []int{1, 2, 4, 8} {
+		for c := 1; c <= sys.CoresPerNode; c++ {
+			for _, f := range sys.Frequencies {
+				cfgs = append(cfgs, machine.Config{Nodes: n, Cores: c, Freq: f})
+			}
+		}
+	}
+
+	var rows [][]string
+	for _, spec := range specs {
+		model, err := hybridperf.Characterize(sys, spec, &hybridperf.CharacterizeOptions{Seed: *seed, Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		S, err := spec.Iterations(workload.Class(*class))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var reqs []exec.Request
+		for i, cfg := range cfgs {
+			reqs = append(reqs, exec.Request{
+				Prof: sys, Spec: spec, Class: workload.Class(*class), Cfg: cfg,
+				Seed: *seed + 1e6 + int64(i),
+			})
+		}
+		results, err := exec.Sweep(reqs, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var predT, measT, predE, measE []float64
+		for i, cfg := range cfgs {
+			p, err := model.Core().Predict(cfg, S)
+			if err != nil {
+				log.Fatal(err)
+			}
+			predT = append(predT, p.T)
+			measT = append(measT, results[i].Time)
+			predE = append(predE, p.E)
+			measE = append(measE, results[i].MeasuredEnergy)
+		}
+		te := stats.SummarizeErrors(predT, measT)
+		ee := stats.SummarizeErrors(predE, measE)
+		rows = append(rows, []string{
+			spec.Name,
+			fmt.Sprintf("%d", len(cfgs)),
+			fmt.Sprintf("%.1f", te.Mean), fmt.Sprintf("%.1f", te.StdDev), fmt.Sprintf("%.1f", te.Max),
+			fmt.Sprintf("%.1f", ee.Mean), fmt.Sprintf("%.1f", ee.StdDev), fmt.Sprintf("%.1f", ee.Max),
+		})
+	}
+	fmt.Fprintf(os.Stdout, "Validation on %s, class %s\n\n", sys.Name, *class)
+	fmt.Fprintln(os.Stdout, textplot.Table(
+		[]string{"Prog", "Cfgs", "T mean%", "T std", "T max", "E mean%", "E std", "E max"}, rows))
+}

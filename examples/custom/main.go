@@ -1,0 +1,102 @@
+// Custom cluster + custom program: how a user applies the approach to
+// THEIR system and code rather than the paper's benchmarks. Builds a
+// hypothetical 16-node AArch64 server cluster profile and a synthetic
+// halo-exchange application, characterises, validates one point against
+// direct measurement, and answers the deadline question.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridperf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A hypothetical dense AArch64 server cluster: 16 nodes, 16 cores,
+	// three DVFS levels, DDR4-class memory, 10 GbE.
+	sys := &hybridperf.System{
+		Name: "graviton-like", ISA: "aarch64",
+		MaxNodes: 16, CoresPerNode: 16,
+		Frequencies: []float64{1.0e9, 1.7e9, 2.5e9},
+
+		CyclesPerWork: 1.2,
+		BaseStallFrac: 1.0,
+
+		MemBurstBytes:    4 << 20,
+		MemBandwidth:     40e9,
+		MemCoreBandwidth: 12e9,
+		MemTrafficFactor: 1.5,
+		MemFixedLat:      1e-6,
+
+		LinkBandwidth:  10e9,
+		NetEfficiency:  0.92,
+		NetHalfSatB:    16 << 10,
+		NetMsgOverhead: 20e-6,
+
+		PSysIdle: 55,
+		// ~1 W static plus ~5 W dynamic at the 2.5 GHz reference.
+		PCoreAct:   hybridperf.PowerCurve{Static: 1.0, Dyn: 5.0, FRef: 2.5e9, Exp: 2.2},
+		StallPower: 0.55,
+		PMem:       12,
+		PNet:       8,
+
+		MeterNoiseW: 1.5,
+		OSJitter:    0.02,
+	}
+	if err := sys.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's application: a bandwidth-hungry 3D stencil with a
+	// 2-message halo exchange per iteration.
+	app := hybridperf.Synthetic(
+		"stencil3d",
+		12e9, // work units per iteration (whole domain)
+		0.7,  // DRAM bytes per work unit
+		30,   // baseline iterations (class S)
+		2,    // halo messages per rank per iteration
+		2e6,  // halo volume at 2 nodes [B]
+	)
+	if err := app.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := hybridperf.Characterize(sys, app, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sanity-check the model against one direct measurement.
+	probe := hybridperf.Config{Nodes: 8, Cores: 16, Freq: 2.5e9}
+	pred, err := model.Predict(probe, hybridperf.ClassA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas, err := hybridperf.Simulate(sys, app, hybridperf.ClassA, probe, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stencil3d on %s at %v:\n", sys.Name, probe)
+	fmt.Printf("  predicted T=%.1fs E=%.2fkJ UCR=%.2f | measured T=%.1fs E=%.2fkJ\n\n",
+		pred.T, pred.E/1e3, pred.UCR, meas.Time, meas.MeasuredEnergy/1e3)
+
+	// The question the paper answers: cheapest configuration meeting a
+	// deadline across the full 16x16x3 space.
+	nodes := make([]int, 0, 16)
+	for n := 1; n <= 16; n++ {
+		nodes = append(nodes, n)
+	}
+	cfgs := model.Space(nodes)
+	deadline := pred.T * 2
+	best, ok, err := model.MinEnergyWithinDeadline(cfgs, hybridperf.ClassA, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("deadline %.0fs over %d configurations -> run on %v: T=%.1fs E=%.2fkJ UCR=%.2f\n",
+			deadline, len(cfgs), best.Cfg, best.Pred.T, best.Pred.E/1e3, best.Pred.UCR)
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: characterise a hybrid program on a cluster, predict the
+// time-energy performance of one configuration, and list the time-energy
+// Pareto frontier — the end-to-end workflow of the paper's Figure 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridperf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Pick a system and a program: the Intel Xeon E5 cluster running
+	//    the NPB Scalar Penta-diagonal solver.
+	sys := hybridperf.XeonE5()
+	prog := hybridperf.SP()
+
+	// 2. Characterise: baseline runs on one node across every (c, f)
+	//    point, mpiP communication profiling, NetPIPE and power benches.
+	//    (All measurements run on the simulated cluster; see DESIGN.md.)
+	model, err := hybridperf.Characterize(sys, prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Predict one configuration: 4 nodes x 8 cores at 1.8 GHz.
+	cfg := hybridperf.Config{Nodes: 4, Cores: 8, Freq: 1.8e9}
+	pred, err := model.Predict(cfg, hybridperf.ClassA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s at %v:\n", prog.Name, sys.Name, cfg)
+	fmt.Printf("  predicted time   %.1f s  (compute %.1f, memory %.1f, network %.1f)\n",
+		pred.T, pred.TCPU, pred.TMem, pred.TwNet+pred.TsNet)
+	fmt.Printf("  predicted energy %.2f kJ\n", pred.E/1e3)
+	fmt.Printf("  UCR              %.2f\n\n", pred.UCR)
+
+	// 4. Check the prediction against a direct (simulated) measurement.
+	meas, err := hybridperf.Simulate(sys, prog, hybridperf.ClassA, cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  measured time    %.1f s, energy %.2f kJ\n\n", meas.Time, meas.MeasuredEnergy/1e3)
+
+	// 5. Explore the configuration space and print the Pareto frontier.
+	cfgs := model.Space([]int{1, 2, 4, 8})
+	_, frontier, err := model.Explore(cfgs, hybridperf.ClassA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pareto-optimal configurations (%d of %d):\n", len(frontier), len(cfgs))
+	for _, p := range frontier {
+		fmt.Printf("  %-12v T=%7.1f s  E=%7.2f kJ  UCR=%.2f\n",
+			p.Cfg, p.Pred.T, p.Pred.E/1e3, p.Pred.UCR)
+	}
+}

@@ -1,0 +1,60 @@
+// Scale-out prediction (paper Figure 7): the model is characterised once
+// on the small class-S input and then predicts the class-C input — 16x
+// larger — across cluster configurations, compared here against direct
+// simulation. This exercises the paper's claim that resource demands
+// scale linearly with input size for scale-out HPC codes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridperf"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys := hybridperf.XeonE5()
+	prog := hybridperf.LU()
+
+	model, err := hybridperf.Characterize(sys, prog, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("LU class C (scale-out) on %s, model vs simulation:\n\n", sys.Name)
+	fmt.Printf("%-12s %10s %10s %7s   %10s %10s %7s\n",
+		"(n,c)", "T pred[s]", "T meas[s]", "err%", "E pred[kJ]", "E meas[kJ]", "err%")
+	var seed int64 = 7
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, c := range []int{1, 4, 8} {
+			cfg := hybridperf.Config{Nodes: n, Cores: c, Freq: sys.FMax()}
+			pred, err := model.Predict(cfg, hybridperf.ClassC)
+			if err != nil {
+				log.Fatal(err)
+			}
+			meas, err := hybridperf.Simulate(sys, prog, hybridperf.ClassC, cfg, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			seed++
+			terr := pctErr(pred.T, meas.Time)
+			eerr := pctErr(pred.E, meas.MeasuredEnergy)
+			fmt.Printf("(%d,%d)%7s %10.1f %10.1f %6.1f%%   %10.2f %10.2f %6.1f%%\n",
+				n, c, "", pred.T, meas.Time, terr, pred.E/1e3, meas.MeasuredEnergy/1e3, eerr)
+		}
+	}
+	fmt.Println("\nThe characterisation used only single-node class-S runs; every")
+	fmt.Println("prediction above extrapolates 16x in input size and up to 8x in nodes.")
+}
+
+func pctErr(pred, meas float64) float64 {
+	if meas == 0 {
+		return 0
+	}
+	d := (pred - meas) / meas * 100
+	if d < 0 {
+		return -d
+	}
+	return d
+}

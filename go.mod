@@ -1,0 +1,3 @@
+module hybridperf
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package hybridperf determines time- and energy-efficient cluster
+// configurations for hybrid (MPI+OpenMP) parallel programs, implementing
+// the measurement-driven analytical modeling approach of Ramapantulu,
+// Loghin and Teo, "An Approach for Energy Efficient Execution of Hybrid
+// Parallel Programs" (IPDPS 2015).
+//
+// The workflow mirrors the paper's Figure 2:
+//
+//  1. Characterize a program on a system: baseline executions of a small
+//     input on a single node over every (cores, frequency) point, an
+//     mpiP-style communication profile, NetPIPE network characterisation
+//     and power micro-benchmarks. Since this repository has no physical
+//     cluster, "measurement" runs on a deterministic discrete-event
+//     simulation of the paper's Xeon and ARM clusters (see DESIGN.md).
+//  2. Predict execution time T, energy E and the Useful Computation Ratio
+//     UCR = T_CPU/T for any configuration (n nodes, c cores, frequency f).
+//  3. Explore the configuration space: Pareto-optimal configurations that
+//     use minimum energy under an execution-time deadline, or minimum time
+//     under an energy budget; what-if analyses for hardware co-design.
+//
+// Quickstart:
+//
+//	model, _ := hybridperf.Characterize(hybridperf.XeonE5(), hybridperf.SP(), nil)
+//	pred, _ := model.Predict(hybridperf.Config{Nodes: 4, Cores: 8, Freq: 1.8e9}, hybridperf.ClassA)
+//	fmt.Printf("T=%.1fs E=%.1fkJ UCR=%.2f\n", pred.T, pred.E/1e3, pred.UCR)
+package hybridperf
+
+import (
+	"fmt"
+
+	"hybridperf/internal/characterize"
+	"hybridperf/internal/core"
+	"hybridperf/internal/dvfs"
+	"hybridperf/internal/exec"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/pareto"
+	"hybridperf/internal/workload"
+)
+
+// Core re-exports: a System describes a homogeneous cluster, a Program a
+// hybrid parallel code, a Config one (n, c, f) execution configuration.
+type (
+	// System is a cluster hardware profile (see machine.Profile).
+	System = machine.Profile
+	// PowerCurve models per-core active power against frequency.
+	PowerCurve = machine.PowerCurve
+	// Config is an execution configuration: nodes, cores/node, frequency [Hz].
+	Config = machine.Config
+	// Program is a hybrid program description (see workload.Spec).
+	Program = workload.Spec
+	// Class selects a program input size.
+	Class = workload.Class
+	// Prediction is a model output: time/energy breakdowns and UCR.
+	Prediction = core.Prediction
+	// Point pairs a Config with its Prediction in space explorations.
+	Point = pareto.Point
+	// Measurement is a direct (simulated) measurement of one execution.
+	Measurement = exec.Result
+	// CharacterizeOptions tunes the measurement campaign.
+	CharacterizeOptions = characterize.Options
+)
+
+// Input classes (iteration-count scales relative to the baseline input).
+const (
+	ClassTest = workload.ClassTest
+	ClassS    = workload.ClassS
+	ClassA    = workload.ClassA
+	ClassC    = workload.ClassC
+)
+
+// XeonE5 returns the Intel Xeon E5-2603 cluster profile (Table 3).
+func XeonE5() *System { return machine.XeonE5() }
+
+// ARMCortexA9 returns the ARM Cortex-A9 cluster profile (Table 3).
+func ARMCortexA9() *System { return machine.ARMCortexA9() }
+
+// SystemByName returns a built-in system ("xeon" or "arm").
+func SystemByName(name string) (*System, error) { return machine.ByName(name) }
+
+// The five benchmark programs of the paper's evaluation.
+func LU() *Program { return workload.LU() }
+func SP() *Program { return workload.SP() }
+func BT() *Program { return workload.BT() }
+func CP() *Program { return workload.CP() }
+func LB() *Program { return workload.LB() }
+
+// FT is the alltoall-dominated 3D-FFT extension program (beyond the
+// paper's five), exercising the personalised all-to-all pattern.
+func FT() *Program { return workload.FT() }
+
+// Programs returns the five benchmarks in Table 2 order.
+func Programs() []*Program { return workload.Programs() }
+
+// ExtendedPrograms returns the paper's five benchmarks plus FT.
+func ExtendedPrograms() []*Program { return workload.Extended() }
+
+// ProgramByName returns a built-in program by its short code.
+func ProgramByName(name string) (*Program, error) { return workload.ByName(name) }
+
+// Synthetic builds a custom hybrid program spec: workPerIter abstract work
+// units per iteration over the whole domain, memBytesPerWork bytes of DRAM
+// traffic per work unit, baseIters class-S iterations, and a halo exchange
+// of haloMsgs messages of haloBytes (at two nodes) per iteration. Adjust
+// further fields on the returned spec and Validate before use.
+func Synthetic(name string, workPerIter, memBytesPerWork float64, baseIters, haloMsgs int, haloBytes float64) *Program {
+	return workload.Synthetic(name, workPerIter, memBytesPerWork, baseIters, haloMsgs, haloBytes)
+}
+
+// Model predicts the time-energy performance of one program on one system
+// from its characterisation.
+type Model struct {
+	core *core.Model
+	sys  *System
+	prog *Program
+}
+
+// Characterize measures a program on a system and builds its model.
+// opts may be nil for defaults (seed 0, class-S baseline).
+func Characterize(sys *System, prog *Program, opts *CharacterizeOptions) (*Model, error) {
+	var o CharacterizeOptions
+	if opts != nil {
+		o = *opts
+	}
+	sum, err := characterize.Run(sys, prog, o)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := core.New(sum.Inputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{core: cm, sys: sys, prog: prog}, nil
+}
+
+// NewModel wraps pre-assembled model inputs (e.g. loaded from disk or
+// built in tests) for the same program/system pair.
+func NewModel(sys *System, prog *Program, in core.Inputs) (*Model, error) {
+	cm, err := core.New(in, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{core: cm, sys: sys, prog: prog}, nil
+}
+
+// System returns the model's cluster profile.
+func (m *Model) System() *System { return m.sys }
+
+// Program returns the model's program.
+func (m *Model) Program() *Program { return m.prog }
+
+// Core exposes the underlying analytical model.
+func (m *Model) Core() *core.Model { return m.core }
+
+// iters resolves a class to its iteration count.
+func (m *Model) iters(class Class) (int, error) { return m.prog.Iterations(class) }
+
+// Predict evaluates the model for one configuration and input class.
+func (m *Model) Predict(cfg Config, class Class) (Prediction, error) {
+	S, err := m.iters(class)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return m.core.Predict(cfg, S)
+}
+
+// Space enumerates configurations over the given node counts and the
+// system's full core/frequency ranges.
+func (m *Model) Space(nodes []int) []Config {
+	return pareto.Space(nodes, m.sys.CoresPerNode, m.sys.Frequencies)
+}
+
+// Explore predicts every configuration and returns all points plus the
+// time-energy Pareto frontier.
+func (m *Model) Explore(cfgs []Config, class Class) (points, frontier []Point, err error) {
+	S, err := m.iters(class)
+	if err != nil {
+		return nil, nil, err
+	}
+	points, err = pareto.Evaluate(m.core, cfgs, S)
+	if err != nil {
+		return nil, nil, err
+	}
+	return points, pareto.Frontier(points), nil
+}
+
+// MinEnergyWithinDeadline returns the configuration meeting the deadline
+// [s] with minimum energy — the paper's primary query.
+func (m *Model) MinEnergyWithinDeadline(cfgs []Config, class Class, deadline float64) (Point, bool, error) {
+	points, _, err := m.Explore(cfgs, class)
+	if err != nil {
+		return Point{}, false, err
+	}
+	p, ok := pareto.MinEnergyWithinDeadline(points, deadline)
+	return p, ok, nil
+}
+
+// MinTimeWithinBudget returns the fastest configuration within the energy
+// budget [J] — the dual query.
+func (m *Model) MinTimeWithinBudget(cfgs []Config, class Class, budget float64) (Point, bool, error) {
+	points, _, err := m.Explore(cfgs, class)
+	if err != nil {
+		return Point{}, false, err
+	}
+	p, ok := pareto.MinTimeWithinBudget(points, budget)
+	return p, ok, nil
+}
+
+// WithMemoryBandwidthScale returns a what-if model whose node memory
+// bandwidth is scaled by x (Sec. V.B: x=2 halves memory stall cycles).
+func (m *Model) WithMemoryBandwidthScale(x float64) *Model {
+	opt := m.core.Options()
+	opt.MemBandwidthScale = x
+	return &Model{core: m.core.WithOptions(opt), sys: m.sys, prog: m.prog}
+}
+
+// WithNetworkBandwidthScale returns a what-if model whose network peak
+// bandwidth is scaled by x.
+func (m *Model) WithNetworkBandwidthScale(x float64) *Model {
+	opt := m.core.Options()
+	opt.NetBandwidthScale = x
+	return &Model{core: m.core.WithOptions(opt), sys: m.sys, prog: m.prog}
+}
+
+// Simulate directly measures one execution on the simulated cluster: the
+// ground truth the model is validated against.
+func Simulate(sys *System, prog *Program, class Class, cfg Config, seed int64) (*Measurement, error) {
+	return exec.Run(exec.Request{Prof: sys, Spec: prog, Class: class, Cfg: cfg, Seed: seed})
+}
+
+// SimulateWithDVFS measures one execution with the runtime inter-node
+// slack governor active: nodes that idle at synchronisation points step
+// their frequency down, the run-time DVFS technique of the paper's related
+// work (Sec. II.A). cfg.Freq is the starting level. Use it to quantify the
+// extra savings a governor layers on top of a model-chosen Pareto-optimal
+// configuration.
+func SimulateWithDVFS(sys *System, prog *Program, class Class, cfg Config, seed int64) (*Measurement, error) {
+	return exec.Run(exec.Request{
+		Prof: sys, Spec: prog, Class: class, Cfg: cfg, Seed: seed,
+		Governor: func(int) dvfs.Governor {
+			g, err := dvfs.NewInterNodeSlack(sys.Frequencies, 0, 0)
+			if err != nil {
+				panic(err) // profiles always carry at least one DVFS level
+			}
+			return g
+		},
+	})
+}
+
+// Validate compares model predictions against direct simulation over a
+// configuration list, returning mean absolute percentage errors for time
+// and energy — the per-program numbers of the paper's Table 2.
+func (m *Model) Validate(cfgs []Config, class Class, seed int64) (timeErrPct, energyErrPct float64, err error) {
+	S, err := m.iters(class)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sumT, sumE float64
+	for i, cfg := range cfgs {
+		pred, err := m.core.Predict(cfg, S)
+		if err != nil {
+			return 0, 0, err
+		}
+		meas, err := Simulate(m.sys, m.prog, class, cfg, seed+int64(i))
+		if err != nil {
+			return 0, 0, err
+		}
+		sumT += relErr(pred.T, meas.Time)
+		sumE += relErr(pred.E, meas.MeasuredEnergy)
+	}
+	n := float64(len(cfgs))
+	if n == 0 {
+		return 0, 0, fmt.Errorf("hybridperf: Validate needs at least one configuration")
+	}
+	return sumT / n, sumE / n, nil
+}
+
+func relErr(pred, meas float64) float64 {
+	if meas == 0 {
+		return 0
+	}
+	d := (pred - meas) / meas * 100
+	if d < 0 {
+		return -d
+	}
+	return d
+}

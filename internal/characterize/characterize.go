@@ -1,0 +1,168 @@
+// Package characterize orchestrates the measurement campaign of Figure 2's
+// left column: baseline executions of the small input on a single node
+// across every (c, f) point (hardware counters), an mpiP profiling run for
+// the communication characteristics, NetPIPE network characterisation and
+// the power micro-benchmarks — producing the analytical model's inputs.
+package characterize
+
+import (
+	"fmt"
+
+	"hybridperf/internal/core"
+	"hybridperf/internal/exec"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/mpip"
+	"hybridperf/internal/netpipe"
+	"hybridperf/internal/powerbench"
+	"hybridperf/internal/workload"
+)
+
+// Options control the characterisation campaign.
+type Options struct {
+	Seed          int64
+	Workers       int            // parallel simulation workers (default 4)
+	BaselineClass workload.Class // default ClassS, the paper's small input Ps
+	ProfileNodes  int            // nodes for the mpiP run (default 2)
+}
+
+func (o *Options) fill() {
+	if o.Workers < 1 {
+		o.Workers = 4
+	}
+	if o.BaselineClass == "" {
+		o.BaselineClass = workload.ClassS
+	}
+	if o.ProfileNodes < 2 {
+		o.ProfileNodes = 2
+	}
+}
+
+// Summary keeps the raw characterisation artefacts alongside the model
+// inputs, for reporting (Figure 3, power tables) and diagnostics.
+type Summary struct {
+	Inputs   core.Inputs
+	NetPipe  []netpipe.Point
+	Power    *powerbench.Result
+	MpiP     mpip.Report
+	Baseline map[machine.CF]core.BaselinePoint
+}
+
+// commFromSpec builds the model's communication law from the program's
+// decomposition structure, with message volumes calibrated by the mpiP
+// measurement (measured mean volume over the structurally expected one at
+// the profiled node count) — the paper's "communication characteristics
+// inferred from l and τ" with mpiP providing the volumes.
+func commFromSpec(spec *workload.Spec, cal float64) core.HybridComm {
+	return core.HybridComm{
+		HaloMsgs:        spec.HaloMsgs,
+		HaloBytes:       spec.HaloBytesN2 * cal,
+		HaloExp:         spec.HaloExp,
+		CollectiveBytes: spec.CollectiveBytes * cal,
+		Barrier:         spec.BarrierPerIter,
+		AlltoallVolume:  spec.AlltoallVolume * cal,
+	}
+}
+
+// Run performs the full characterisation of one program on one system and
+// returns the model inputs.
+func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, error) {
+	opts.fill()
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	baseIters, err := spec.Iterations(opts.BaselineClass)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Network characterisation (NetPIPE, Figure 3).
+	points, netModel, err := netpipe.Characterize(prof)
+	if err != nil {
+		return nil, fmt.Errorf("characterize: network: %w", err)
+	}
+
+	// 2. Power characterisation.
+	power, err := powerbench.Characterize(prof, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("characterize: power: %w", err)
+	}
+
+	// 3. Baseline executions: single node, all (c,f), small input.
+	var reqs []exec.Request
+	var keys []machine.CF
+	for c := 1; c <= prof.CoresPerNode; c++ {
+		for _, f := range prof.Frequencies {
+			keys = append(keys, machine.CF{Cores: c, Freq: f})
+			reqs = append(reqs, exec.Request{
+				Prof:  prof,
+				Spec:  spec,
+				Class: opts.BaselineClass,
+				Cfg:   machine.Config{Nodes: 1, Cores: c, Freq: f},
+				Seed:  opts.Seed + int64(len(reqs)),
+			})
+		}
+	}
+	results, err := exec.Sweep(reqs, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("characterize: baseline: %w", err)
+	}
+	baseline := make(map[machine.CF]core.BaselinePoint, len(results))
+	for i, res := range results {
+		baseline[keys[i]] = core.BaselinePoint{
+			W: res.Totals.WorkCycles,
+			B: res.Totals.BStallCycles,
+			M: res.Totals.MemStallCycles,
+			U: res.Utilization,
+		}
+	}
+
+	// 4. Communication profiling (mpiP) on a small multi-node run.
+	comm := core.CommModel(nil)
+	var report mpip.Report
+	if spec.MsgsPerIter(opts.ProfileNodes) > 0 {
+		n := opts.ProfileNodes
+		if n > prof.MaxNodes {
+			n = prof.MaxNodes
+		}
+		res, err := exec.Run(exec.Request{
+			Prof:  prof,
+			Spec:  spec,
+			Class: opts.BaselineClass,
+			Cfg:   machine.Config{Nodes: n, Cores: 1, Freq: prof.FMax()},
+			Seed:  opts.Seed + 7919,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("characterize: mpiP run: %w", err)
+		}
+		report, err = mpip.FromRun(res.Comm, baseIters, res.Time)
+		if err != nil {
+			return nil, err
+		}
+		cal := 1.0
+		if expected := spec.MeanMsgBytes(n); expected > 0 && report.BytesPerMsg > 0 {
+			cal = report.BytesPerMsg / expected
+		}
+		comm = commFromSpec(spec, cal)
+	}
+
+	in := core.Inputs{
+		System:        prof.Name,
+		Program:       spec.Name,
+		NetTopology:   prof.Topology,
+		BaselineIters: baseIters,
+		Baseline:      baseline,
+		Comm:          comm,
+		Net:           netModel,
+		Power:         power.Model,
+	}
+	return &Summary{
+		Inputs:   in,
+		NetPipe:  points,
+		Power:    power,
+		MpiP:     report,
+		Baseline: baseline,
+	}, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import "math"
+
+// reduceRounds is the number of rounds (messages per rank) of a
+// dissemination-style collective over n ranks: ceil(log2 n). It mirrors
+// the simulated MPI runtime's allreduce; a cross-package test pins the
+// two together.
+func reduceRounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// HybridComm is the communication model of a hybrid program in the shape
+// the paper's characterisation produces: per-iteration halo exchanges
+// whose volume shrinks with the node count (domain decomposition), plus
+// optional synchronised collectives. It is a plain value, so characterised
+// inputs can be saved and reloaded (see persist.go).
+//
+// Halo volume law: bytes(n) = HaloBytes * (2/n)^HaloExp, with HaloBytes
+// the volume measured by the mpiP profiling run at two nodes.
+type HybridComm struct {
+	HaloMsgs  int     `json:"haloMsgs"`  // point-to-point messages per iteration
+	HaloBytes float64 `json:"haloBytes"` // per-message volume at n=2 [B]
+	HaloExp   float64 `json:"haloExp"`   // decomposition scaling exponent
+
+	CollectiveBytes float64 `json:"collectiveBytes"` // allreduce volume per round [B]; 0 = none
+	Barrier         bool    `json:"barrier"`         // explicit barrier each iteration
+	AlltoallVolume  float64 `json:"alltoallVolume"`  // per-rank all-to-all volume per iteration [B]
+}
+
+// Classes implements CommModel.
+func (hc HybridComm) Classes(n int) []MsgClass {
+	if n < 2 {
+		return nil
+	}
+	var out []MsgClass
+	if hc.HaloMsgs > 0 {
+		bytes := hc.HaloBytes * math.Pow(2/float64(n), hc.HaloExp)
+		out = append(out, MsgClass{Count: hc.HaloMsgs, Bytes: bytes})
+	}
+	rounds := reduceRounds(n)
+	if hc.CollectiveBytes > 0 {
+		out = append(out, MsgClass{Count: rounds, Bytes: hc.CollectiveBytes, Sync: true})
+	}
+	if hc.Barrier {
+		out = append(out, MsgClass{Count: rounds, Bytes: 8, Sync: true})
+	}
+	if hc.AlltoallVolume > 0 {
+		out = append(out, MsgClass{Count: n - 1, Bytes: hc.AlltoallVolume / float64(n), Sync: true})
+	}
+	return out
+}

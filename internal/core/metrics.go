@@ -1,0 +1,29 @@
+package core
+
+import "math"
+
+// CCR returns the Computation-to-Communication Ratio of the prediction:
+// useful computation time over everything else (memory and network
+// contention, communication service). The paper (Sec. V.B) contrasts CCR
+// with UCR: CCR is widely used but unnormalised — it is unbounded for
+// communication-free executions — which makes comparisons across
+// configurations awkward; UCR = TCPU/T is its normalised replacement with
+// range (0, 1]. CCR returns +Inf when the prediction has no
+// non-computation time at all.
+func (p Prediction) CCR() float64 {
+	other := p.TwNet + p.TsNet + p.TMem
+	if other <= 0 {
+		return math.Inf(1)
+	}
+	return p.TCPU / other
+}
+
+// EDP returns the prediction's energy-delay product E*T [J*s], a standard
+// single-figure merit for time-energy trade-offs. Minimising EDP picks one
+// point on the Pareto frontier without requiring an explicit deadline or
+// budget.
+func (p Prediction) EDP() float64 { return p.E * p.T }
+
+// ED2P returns the energy-delay-squared product E*T² [J*s²], which weighs
+// performance more heavily than EDP.
+func (p Prediction) ED2P() float64 { return p.E * p.T * p.T }

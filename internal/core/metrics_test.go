@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hybridperf/internal/machine"
+)
+
+func TestCCRRelatesToUCR(t *testing.T) {
+	// CCR = UCR / (1 - UCR) for the same breakdown, since
+	// T = TCPU + other. Verify on a real prediction.
+	comm := StaticComm{{Count: 2, Bytes: 1e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	p, err := m.Predict(machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.UCR / (1 - p.UCR)
+	if got := p.CCR(); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("CCR = %g, want UCR/(1-UCR) = %g", got, want)
+	}
+}
+
+func TestCCRUnnormalised(t *testing.T) {
+	// The paper's point: CCR has no upper bound — a communication-free
+	// prediction yields +Inf, while UCR stays in (0, 1].
+	p := Prediction{TCPU: 5, T: 5, UCR: 1}
+	if !math.IsInf(p.CCR(), 1) {
+		t.Fatalf("communication-free CCR = %g, want +Inf", p.CCR())
+	}
+	if p.UCR <= 0 || p.UCR > 1 {
+		t.Fatal("UCR left its normalised range")
+	}
+}
+
+func TestCCRMonotoneWithUCRAcrossConfigs(t *testing.T) {
+	// For fixed total time decomposition, higher UCR means higher CCR —
+	// they rank configurations identically; only the scale differs.
+	comm := StaticComm{{Count: 3, Bytes: 2e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	var prevUCR, prevCCR float64
+	first := true
+	for _, n := range []int{16, 8, 4, 2} {
+		p, err := m.Predict(machine.Config{Nodes: n, Cores: 2, Freq: 1e9}, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first {
+			if (p.UCR > prevUCR) != (p.CCR() > prevCCR) {
+				t.Fatalf("UCR and CCR rank n=%d differently", n)
+			}
+		}
+		prevUCR, prevCCR = p.UCR, p.CCR()
+		first = false
+	}
+}
+
+func TestEDPAndED2P(t *testing.T) {
+	p := Prediction{T: 3, E: 10}
+	if p.EDP() != 30 {
+		t.Fatalf("EDP = %g", p.EDP())
+	}
+	if p.ED2P() != 90 {
+		t.Fatalf("ED2P = %g", p.ED2P())
+	}
+}

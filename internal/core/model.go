@@ -1,0 +1,407 @@
+// Package core implements the paper's primary contribution: the
+// measurement-driven analytical model that predicts execution time
+// (Eqs 1-7), energy (Eqs 8-12) and the Useful Computation Ratio
+// (Eqs 13-14) of a hybrid MPI+OpenMP program for any cluster
+// configuration (n, c, f), from baseline measurements taken on a single
+// node plus network and power characterisation.
+//
+// Model structure (Eq. 1):
+//
+//		T = T_CPU + T_w,net + T_s,net + T_w,mem + T_s,mem
+//
+//	  - T_CPU: useful cycles (work w plus non-memory stalls b), split across
+//	    the n*c cores at frequency f (Eqs 2-4).
+//	  - T_w,mem + T_s,mem: memory stall cycles m at the measured (c,f) point,
+//	    scaled to the target input size (Eq. 7). We charge m/(n*c*f): the
+//	    baseline counter sums stalls over the node's c cores, the contention
+//	    level is fixed by c, and per-core traffic shrinks as 1/n (see
+//	    DESIGN.md, "Clarified model interpretations").
+//	  - T_w,net: M/G/1 waiting at the switch (Eq. 5), using the
+//	    Pollaczek-Khinchine mean wait with the message-size mix's service
+//	    moments; the arrival rate λ = n*η/T is resolved by fixed-point
+//	    iteration since it depends on the predicted T itself.
+//	  - T_s,net: non-overlapped service time, Eq. 6:
+//	    max((1-U)*T_CPU, η*ν/B).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybridperf/internal/machine"
+	"hybridperf/internal/queueing"
+)
+
+// BaselinePoint holds the counters of one baseline execution of the small
+// input Ps on a single node at a (c,f) point: total work cycles ws, total
+// non-memory stall cycles bs, total memory stall cycles ms (all summed
+// over the c cores) and CPU utilisation Us.
+type BaselinePoint struct {
+	W float64 // ws: work cycles
+	B float64 // bs: non-memory stall cycles
+	M float64 // ms: memory-related stall cycles
+	U float64 // Us: CPU utilisation in [0,1]
+}
+
+// MsgClass is one class of messages a rank sends per iteration (e.g. halo
+// exchanges of one size, allreduce rounds of another).
+//
+// Sync marks globally synchronised rounds (allreduce, barrier): every rank
+// posts simultaneously and blocks until the round completes, so each round
+// puts a burst of n messages on the switch and its full drain time n*y
+// lands on the critical path. Poisson-arrival queueing (Eq. 5) does not
+// describe such bursts; the model charges sync classes their exact drain
+// instead. Asynchronous classes (halo exchange overlapped with compute)
+// keep the paper's Eq. 5/6 treatment.
+type MsgClass struct {
+	Count int     // messages per rank per iteration
+	Bytes float64 // volume per message [B]
+	Sync  bool    // globally synchronised round (collective)
+}
+
+// CommModel yields the per-rank, per-iteration message mix for an n-node
+// execution — the communication characteristics η and ν that mpiP
+// measures, extended over n by the program's decomposition structure
+// ("inferred from l and τ", paper Sec. III.E.1).
+type CommModel interface {
+	Classes(n int) []MsgClass
+}
+
+// StaticComm is a CommModel with a fixed message mix per node count,
+// useful for tests and for programs with n-independent communication.
+type StaticComm []MsgClass
+
+// Classes implements CommModel.
+func (s StaticComm) Classes(int) []MsgClass { return s }
+
+// NetModel is the network characterisation NetPIPE produces (Figure 3):
+// per-message service time y(s) = Overhead + s/Peak, i.e. a fixed
+// software/switch overhead plus wire time at the achievable bandwidth.
+type NetModel struct {
+	Overhead float64 // s, per message (includes size-saturation intercept)
+	Peak     float64 // B/s, achievable peak throughput (~0.9 x link rate)
+}
+
+// ServiceTime returns the switch service time for one message of the
+// given size.
+func (nm NetModel) ServiceTime(bytes float64) float64 {
+	return nm.Overhead + bytes/nm.Peak
+}
+
+// PowerModel carries the power characterisation (Sec. III.E.3): per-core
+// active and stall power by DVFS level from micro-benchmarks, plus memory,
+// NIC and system idle power.
+type PowerModel struct {
+	PAct     map[float64]float64 // f [Hz] -> W per active core
+	PStall   map[float64]float64 // f [Hz] -> W per memory-stalled core
+	PMem     float64             // W while the memory subsystem is servicing
+	PNet     float64             // W while the NIC is active
+	PSysIdle float64             // W per idle node (everything else)
+}
+
+// Inputs bundles everything the model consumes, all obtained from
+// measurement (baseline executions, mpiP, NetPIPE, power benches).
+type Inputs struct {
+	System  string // profile name, documentation only
+	Program string
+
+	BaselineIters int // Ss: iterations of the baseline input Ps
+	Baseline      map[machine.CF]BaselinePoint
+
+	Comm  CommModel // nil for communication-free programs
+	Net   NetModel
+	Power PowerModel
+
+	// NetTopology selects the contention model of the interconnect the
+	// measurements came from: machine.TopologyShared (the paper's single
+	// M/G/1 server; default) or machine.TopologyCrossbar (per-node ports,
+	// contention only at shared endpoints). The choice scales the
+	// arrival rate, the synchronised-round drains and the saturation
+	// bound by the number of nodes sharing a server (n vs 1).
+	NetTopology machine.Topology
+}
+
+// Options are the model's analysis knobs, including the what-if scalings
+// of Sec. V.B (e.g. doubling memory bandwidth halves stall cycles).
+type Options struct {
+	MemBandwidthScale float64 // >1 = faster memory; scales m by 1/x (default 1)
+	NetBandwidthScale float64 // >1 = faster network; scales Peak by x (default 1)
+	MaxNetUtilization float64 // ρ clamp for saturated sweeps (default 0.98)
+}
+
+func (o *Options) fill() {
+	if o.MemBandwidthScale <= 0 {
+		o.MemBandwidthScale = 1
+	}
+	if o.NetBandwidthScale <= 0 {
+		o.NetBandwidthScale = 1
+	}
+	if o.MaxNetUtilization <= 0 || o.MaxNetUtilization >= 1 {
+		o.MaxNetUtilization = 0.98
+	}
+}
+
+// Model predicts time-energy performance from measured inputs.
+type Model struct {
+	in  Inputs
+	opt Options
+}
+
+// New validates the inputs and returns a ready model. opt may be nil for
+// defaults.
+func New(in Inputs, opt *Options) (*Model, error) {
+	if in.BaselineIters < 1 {
+		return nil, fmt.Errorf("core: BaselineIters must be >= 1")
+	}
+	if len(in.Baseline) == 0 {
+		return nil, fmt.Errorf("core: no baseline points")
+	}
+	for cf, bp := range in.Baseline {
+		if bp.W < 0 || bp.B < 0 || bp.M < 0 || bp.U < 0 || bp.U > 1.000001 {
+			return nil, fmt.Errorf("core: invalid baseline point at %v: %+v", cf, bp)
+		}
+	}
+	if in.Net.Peak <= 0 {
+		return nil, fmt.Errorf("core: network peak bandwidth must be positive")
+	}
+	if in.Power.PAct == nil || in.Power.PStall == nil {
+		return nil, fmt.Errorf("core: power model missing PAct/PStall tables")
+	}
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	o.fill()
+	return &Model{in: in, opt: o}, nil
+}
+
+// Inputs returns a copy of the model's inputs.
+func (m *Model) Inputs() Inputs { return m.in }
+
+// Options returns the model's effective options.
+func (m *Model) Options() Options { return m.opt }
+
+// WithOptions derives a model sharing the same inputs under different
+// analysis options (the Sec. V.B what-if mechanism).
+func (m *Model) WithOptions(opt Options) *Model {
+	opt.fill()
+	return &Model{in: m.in, opt: opt}
+}
+
+// MissingBaselineError reports a prediction request at a (c,f) point that
+// was never characterised.
+type MissingBaselineError struct {
+	Point machine.CF
+	Have  []machine.CF
+}
+
+func (e *MissingBaselineError) Error() string {
+	return fmt.Sprintf("core: no baseline measurement at %v (have %d points)", e.Point, len(e.Have))
+}
+
+// Prediction is the model output for one configuration: the Eq. (1) time
+// breakdown, the Eq. (8) energy breakdown (cluster totals), and the UCR.
+type Prediction struct {
+	Cfg machine.Config
+	S   int // target iteration count
+
+	// Time components [s]; T = TCPU + TwNet + TsNet + TMem.
+	T     float64
+	TCPU  float64 // Eq. 2: useful (overlapped) computation
+	TwNet float64 // Eq. 5: network queueing delay
+	TsNet float64 // Eq. 6: non-overlapped network service
+	TMem  float64 // Eq. 7: memory waiting + service (Tw,mem + Ts,mem)
+
+	// Energy components [J], cluster totals (per-node values x n).
+	E     float64
+	ECPU  float64 // Eq. 9
+	EMem  float64 // Eq. 10
+	ENet  float64 // Eq. 11
+	EIdle float64 // Eq. 12
+
+	UCR float64 // Eq. 13: TCPU / T
+
+	// Communication diagnostics.
+	Eta       float64 // η: messages per rank over the run
+	Nu        float64 // ν: mean message volume [B]
+	NetRho    float64 // switch utilisation at the fixed point
+	Converged bool    // fixed-point iteration converged
+}
+
+// Predict evaluates the model at cfg for a target input of S iterations.
+func (m *Model) Predict(cfg machine.Config, S int) (Prediction, error) {
+	if S < 1 {
+		return Prediction{}, fmt.Errorf("core: S must be >= 1")
+	}
+	if cfg.Nodes < 1 || cfg.Cores < 1 || cfg.Freq <= 0 {
+		return Prediction{}, fmt.Errorf("core: invalid config %v", cfg)
+	}
+	cf := machine.CF{Cores: cfg.Cores, Freq: cfg.Freq}
+	bp, ok := m.in.Baseline[cf]
+	if !ok {
+		var have []machine.CF
+		for k := range m.in.Baseline {
+			have = append(have, k)
+		}
+		sort.Slice(have, func(i, j int) bool {
+			if have[i].Cores != have[j].Cores {
+				return have[i].Cores < have[j].Cores
+			}
+			return have[i].Freq < have[j].Freq
+		})
+		return Prediction{}, &MissingBaselineError{Point: cf, Have: have}
+	}
+
+	scale := float64(S) / float64(m.in.BaselineIters)
+	w := bp.W * scale
+	b := bp.B * scale
+	mem := bp.M * scale / m.opt.MemBandwidthScale
+
+	ncf := float64(cfg.Nodes) * float64(cfg.Cores) * cfg.Freq
+	p := Prediction{Cfg: cfg, S: S, Converged: true}
+	p.TCPU = (w + b) / ncf // Eqs 2-4
+	p.TMem = mem / ncf     // Eq. 7 (clarified scaling)
+
+	if cfg.Nodes > 1 && m.in.Comm != nil {
+		m.predictNetwork(&p, bp.U, S)
+	}
+	p.T = p.TCPU + p.TwNet + p.TsNet + p.TMem
+	if p.T > 0 {
+		p.UCR = p.TCPU / p.T // Eq. 13
+	}
+
+	pact, okA := m.in.Power.PAct[cfg.Freq]
+	pstall, okS := m.in.Power.PStall[cfg.Freq]
+	if !okA || !okS {
+		return Prediction{}, fmt.Errorf("core: no power characterisation at %.2f GHz", cfg.GHz())
+	}
+	nodes := float64(cfg.Nodes)
+	cores := float64(cfg.Cores)
+	p.ECPU = (pact*p.TCPU + pstall*p.TMem) * cores * nodes // Eq. 9
+	p.EMem = m.in.Power.PMem * p.TMem * nodes              // Eq. 10
+	p.ENet = m.in.Power.PNet * (p.TwNet + p.TsNet) * nodes // Eq. 11
+	p.EIdle = m.in.Power.PSysIdle * p.T * nodes            // Eq. 12
+	p.E = p.ECPU + p.EMem + p.ENet + p.EIdle               // Eq. 8
+	return p, nil
+}
+
+// predictNetwork fills the communication terms of p: the per-run message
+// mix, Eq. 6's non-overlapped service and Eq. 5's queueing delay at the
+// fixed point of λ(T).
+func (m *Model) predictNetwork(p *Prediction, U float64, S int) {
+	classes := m.in.Comm.Classes(p.Cfg.Nodes)
+	if len(classes) == 0 {
+		return
+	}
+	peak := m.in.Net.Peak * m.opt.NetBandwidthScale
+	net := NetModel{Overhead: m.in.Net.Overhead, Peak: peak}
+
+	n := float64(p.Cfg.Nodes)
+	// portShare is how many nodes' traffic serialises at one server: all
+	// n on the shared medium, only this node's on a crossbar port.
+	portShare := n
+	if m.in.NetTopology == machine.TopologyCrossbar {
+		portShare = 1
+	}
+	var msgsPerIter, bytesPerIter float64 // all classes (η, ν diagnostics)
+	var asyncMsgs, yMean, y2 float64      // async moments for Eq. 5
+	var wirePerIter float64               // async wire time for Eq. 6
+	var syncPerIter float64               // sync round drains per iteration
+	var busyPerIter float64               // switch busy time per iteration
+	for _, mc := range classes {
+		cnt := float64(mc.Count)
+		y := net.ServiceTime(mc.Bytes)
+		msgsPerIter += cnt
+		bytesPerIter += cnt * mc.Bytes
+		busyPerIter += cnt * y * portShare
+		if mc.Sync {
+			// Each synchronised round bursts portShare messages onto the
+			// contended server and blocks every rank until they drain:
+			// portShare*y per round on the critical path, exactly.
+			syncPerIter += cnt * y * portShare
+			continue
+		}
+		asyncMsgs += cnt
+		yMean += cnt * y
+		y2 += cnt * y * y
+		wirePerIter += cnt * mc.Bytes / peak
+	}
+	if msgsPerIter == 0 {
+		return
+	}
+	S64 := float64(S)
+	eta := msgsPerIter * S64 // η per rank over the run
+	p.Eta = eta
+	p.Nu = bytesPerIter / msgsPerIter
+
+	// Eq. 6: asynchronous communication overlaps with the CPU idle gap
+	// observed at baseline; the non-overlapped service is the larger of
+	// the idle gap and the wire time. Synchronised rounds cannot overlap
+	// — their drain is added in full.
+	idleGap := (1 - U) * p.TCPU
+	p.TsNet = math.Max(idleGap, wirePerIter*S64) + syncPerIter*S64
+
+	base := p.TCPU + p.TMem + p.TsNet
+	// The switch must be busy busyPerIter*S in total; a closed system
+	// cannot finish sooner (self-throttling bound).
+	satBound := busyPerIter * S64
+
+	if asyncMsgs == 0 {
+		// Only synchronised traffic: the drain is already exact.
+		if satBound > base {
+			p.TwNet = satBound - base
+			p.NetRho = 1
+		} else if base > 0 {
+			p.NetRho = satBound / base
+		}
+		return
+	}
+	yMean /= asyncMsgs
+	y2 /= asyncMsgs
+	etaAsync := asyncMsgs * S64
+
+	// Eq. 5 with λ = n*η/T resolved by fixed-point iteration: every rank
+	// contributes its asynchronous messages to the shared switch.
+	f := func(t float64) float64 {
+		if t <= 0 {
+			t = base
+		}
+		lambda := portShare * etaAsync / t
+		waitPerMsg, _ := queueing.ClampedMG1Wait(lambda, yMean, y2, m.opt.MaxNetUtilization)
+		return base + etaAsync*waitPerMsg
+	}
+	t, ok := queueing.FixedPoint(f, base, 1e-10, 200)
+	p.Converged = ok
+	lambda := portShare * etaAsync / t
+	rawRho := queueing.Utilization(lambda, yMean)
+	if rawRho > m.opt.MaxNetUtilization {
+		// Saturated regime: the open-loop M/G/1 form no longer applies —
+		// the run is bounded by the switch's total busy time and
+		// λ = n*η/T settles at ρ = 1.
+		total := math.Max(base, satBound)
+		p.TwNet = total - base
+		p.NetRho = 1
+		return
+	}
+	waitPerMsg, rho := queueing.ClampedMG1Wait(lambda, yMean, y2, m.opt.MaxNetUtilization)
+	p.TwNet = etaAsync * waitPerMsg
+	if base+p.TwNet < satBound {
+		p.TwNet = satBound - base
+	}
+	p.NetRho = rho
+}
+
+// PredictAll evaluates the model over a configuration list, skipping none:
+// any per-configuration error aborts (they indicate missing inputs).
+func (m *Model) PredictAll(cfgs []machine.Config, S int) ([]Prediction, error) {
+	out := make([]Prediction, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		p, err := m.Predict(cfg, S)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridperf/internal/machine"
+)
+
+// synthInputs builds a small hand-checkable input set: one baseline point
+// at (c=2, f=1 GHz), measured over Ss=10 iterations.
+func synthInputs(comm CommModel) Inputs {
+	return Inputs{
+		System: "synth", Program: "X",
+		BaselineIters: 10,
+		Baseline: map[machine.CF]BaselinePoint{
+			{Cores: 2, Freq: 1e9}: {W: 2e10, B: 2e9, M: 4e9, U: 0.9},
+		},
+		Comm: comm,
+		Net:  NetModel{Overhead: 1e-4, Peak: 1e8},
+		Power: PowerModel{
+			PAct:     map[float64]float64{1e9: 5},
+			PStall:   map[float64]float64{1e9: 3},
+			PMem:     2,
+			PNet:     1,
+			PSysIdle: 10,
+		},
+	}
+}
+
+func mustModel(t *testing.T, in Inputs, opt *Options) *Model {
+	t.Helper()
+	m, err := New(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestEq2to4TimeComponents(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	// S=20 doubles the baseline counters (Eq. 4): w=4e10, b=4e9, m=8e9.
+	p, err := m.Predict(machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 2-3: TCPU = (w+b)/(n c f) = 4.4e10/8e9.
+	approx(t, "TCPU", p.TCPU, 5.5, 1e-12)
+	// Eq. 7 (clarified): TMem = m/(n c f) = 8e9/8e9.
+	approx(t, "TMem", p.TMem, 1.0, 1e-12)
+	// No comm model: no network terms.
+	if p.TwNet != 0 || p.TsNet != 0 {
+		t.Fatalf("network terms %g/%g without a comm model", p.TwNet, p.TsNet)
+	}
+	approx(t, "T", p.T, 6.5, 1e-12)
+	approx(t, "UCR", p.UCR, 5.5/6.5, 1e-12)
+}
+
+func TestEq8to12Energy(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	p, err := m.Predict(machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 9: (Pact*TCPU + Pstall*TMem)*c*n = (5*5.5 + 3*1)*2*4.
+	approx(t, "ECPU", p.ECPU, 244, 1e-9)
+	// Eq. 10: Pmem*TMem*n = 2*1*4.
+	approx(t, "EMem", p.EMem, 8, 1e-9)
+	// Eq. 11: no communication -> 0.
+	approx(t, "ENet", p.ENet, 0, 1e-12)
+	// Eq. 12: Pidle*T*n = 10*6.5*4.
+	approx(t, "EIdle", p.EIdle, 260, 1e-9)
+	approx(t, "E", p.E, 244+8+260, 1e-9)
+}
+
+func TestEq6NonOverlappedService(t *testing.T) {
+	comm := StaticComm{{Count: 2, Bytes: 1e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	p, err := m.Predict(machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eta = 2 msgs/iter * 20 iters = 40; wire = 40*1e6/1e8 = 0.4 s;
+	// idle gap = (1-U)*TCPU = 0.1*5.5 = 0.55 s; Eq. 6 takes the max.
+	approx(t, "Eta", p.Eta, 40, 1e-12)
+	approx(t, "Nu", p.Nu, 1e6, 1e-9)
+	approx(t, "TsNet", p.TsNet, 0.55, 1e-12)
+	if p.TwNet <= 0 {
+		t.Fatal("queueing delay should be positive with 4 nodes sharing the switch")
+	}
+	if !p.Converged {
+		t.Fatal("fixed point did not converge")
+	}
+	// Hand iteration gives TwNet ~= 0.06 s at rho ~= 0.23.
+	if p.TwNet < 0.03 || p.TwNet > 0.12 {
+		t.Fatalf("TwNet = %g, expected ~0.06", p.TwNet)
+	}
+	if p.NetRho < 0.15 || p.NetRho > 0.30 {
+		t.Fatalf("NetRho = %g, expected ~0.23", p.NetRho)
+	}
+	approx(t, "T", p.T, p.TCPU+p.TwNet+p.TsNet+p.TMem, 1e-12)
+	// Eq. 11 now bills the NIC: Pnet*(TwNet+TsNet)*n.
+	approx(t, "ENet", p.ENet, 1*(p.TwNet+p.TsNet)*4, 1e-12)
+}
+
+func TestEq6WireDominates(t *testing.T) {
+	// Larger volume: wire term exceeds the idle gap.
+	comm := StaticComm{{Count: 2, Bytes: 4e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	p, err := m.Predict(machine.Config{Nodes: 2, Cores: 2, Freq: 1e9}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := 40 * 4e6 / 1e8
+	approx(t, "TsNet", p.TsNet, wire, 1e-12)
+}
+
+func TestSingleNodeSkipsNetwork(t *testing.T) {
+	comm := StaticComm{{Count: 2, Bytes: 1e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	p, err := m.Predict(machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TwNet != 0 || p.TsNet != 0 || p.Eta != 0 {
+		t.Fatalf("single-node prediction has network terms: %+v", p)
+	}
+}
+
+func TestLinearScalingInS(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	cfg := machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}
+	p1, _ := m.Predict(cfg, 10)
+	p4, err := m.Predict(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "T ratio", p4.T/p1.T, 4, 1e-9)
+	approx(t, "E ratio", p4.E/p1.E, 4, 1e-9)
+	approx(t, "UCR invariant", p4.UCR, p1.UCR, 1e-12)
+}
+
+func TestMissingBaselineError(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	_, err := m.Predict(machine.Config{Nodes: 1, Cores: 3, Freq: 1e9}, 10)
+	var miss *MissingBaselineError
+	if !errors.As(err, &miss) {
+		t.Fatalf("err = %v, want MissingBaselineError", err)
+	}
+	if miss.Point.Cores != 3 {
+		t.Fatalf("error names %v", miss.Point)
+	}
+	if len(miss.Have) != 1 {
+		t.Fatalf("Have lists %d points", len(miss.Have))
+	}
+	if miss.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestMissingPowerError(t *testing.T) {
+	in := synthInputs(nil)
+	in.Baseline[machine.CF{Cores: 2, Freq: 2e9}] = BaselinePoint{W: 1e10, B: 1e9, M: 1e9, U: 1}
+	m := mustModel(t, in, nil)
+	if _, err := m.Predict(machine.Config{Nodes: 1, Cores: 2, Freq: 2e9}, 10); err == nil {
+		t.Fatal("missing power characterisation not reported")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	if _, err := m.Predict(machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}, 0); err == nil {
+		t.Error("S=0 accepted")
+	}
+	if _, err := m.Predict(machine.Config{Nodes: 0, Cores: 2, Freq: 1e9}, 10); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := m.Predict(machine.Config{Nodes: 1, Cores: 2, Freq: -1}, 10); err == nil {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []func(*Inputs){
+		func(in *Inputs) { in.BaselineIters = 0 },
+		func(in *Inputs) { in.Baseline = nil },
+		func(in *Inputs) {
+			in.Baseline = map[machine.CF]BaselinePoint{{Cores: 1, Freq: 1e9}: {W: -1}}
+		},
+		func(in *Inputs) { in.Net.Peak = 0 },
+		func(in *Inputs) { in.Power.PAct = nil },
+	}
+	for i, mutate := range bad {
+		in := synthInputs(nil)
+		mutate(&in)
+		if _, err := New(in, nil); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestWhatIfMemoryBandwidth(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	cfg := machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}
+	base, _ := m.Predict(cfg, 10)
+	faster, err := m.WithOptions(Options{MemBandwidthScale: 2}).Predict(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sec. V.B: doubling memory bandwidth halves stall cycles.
+	approx(t, "TMem", faster.TMem, base.TMem/2, 1e-12)
+	if faster.UCR <= base.UCR {
+		t.Fatalf("UCR did not improve: %g vs %g", faster.UCR, base.UCR)
+	}
+	if faster.T >= base.T || faster.E >= base.E {
+		t.Fatal("faster memory did not reduce time and energy")
+	}
+	if m.Options().MemBandwidthScale != 1 {
+		t.Fatal("WithOptions mutated the base model")
+	}
+}
+
+func TestWhatIfNetworkBandwidth(t *testing.T) {
+	comm := StaticComm{{Count: 4, Bytes: 4e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	cfg := machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}
+	base, _ := m.Predict(cfg, 20)
+	faster, err := m.WithOptions(Options{NetBandwidthScale: 4}).Predict(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faster.TwNet+faster.TsNet >= base.TwNet+base.TsNet {
+		t.Fatalf("faster network did not reduce comm time: %g vs %g",
+			faster.TwNet+faster.TsNet, base.TwNet+base.TsNet)
+	}
+}
+
+func TestSaturationSwitchesToClosedLoopBound(t *testing.T) {
+	// An absurd message load saturates the switch. The open-loop M/G/1
+	// form no longer applies: the model must fall back to the closed-loop
+	// switch-capacity bound T = n*eta*y at rho = 1 and stay finite.
+	comm := StaticComm{{Count: 5000, Bytes: 1e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	cfg := machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}
+	p, err := m.Predict(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(p.T, 0) || math.IsNaN(p.T) {
+		t.Fatalf("saturated prediction T = %g", p.T)
+	}
+	if p.NetRho != 1 {
+		t.Fatalf("NetRho = %g, want 1 (saturated)", p.NetRho)
+	}
+	// eta = 5000*20 msgs/rank, y = 1e-4 + 1e6/1e8 = 0.0101 s,
+	// bound = 4 * 1e5 * 0.0101 s; base is negligible next to it.
+	want := 4 * 5000 * 20 * 0.0101
+	if math.Abs(p.T-want)/want > 0.02 {
+		t.Fatalf("saturated T = %g, want ~switch capacity bound %g", p.T, want)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), &Options{})
+	opt := m.Options()
+	if opt.MemBandwidthScale != 1 || opt.NetBandwidthScale != 1 {
+		t.Fatalf("default scales %+v", opt)
+	}
+	if opt.MaxNetUtilization != 0.98 {
+		t.Fatalf("default clamp %g", opt.MaxNetUtilization)
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	cfgs := []machine.Config{
+		{Nodes: 1, Cores: 2, Freq: 1e9},
+		{Nodes: 2, Cores: 2, Freq: 1e9},
+	}
+	ps, err := m.PredictAll(cfgs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("%d predictions", len(ps))
+	}
+	if ps[1].T >= ps[0].T {
+		t.Fatal("two nodes not faster than one for a compute-bound program")
+	}
+	cfgs = append(cfgs, machine.Config{Nodes: 1, Cores: 7, Freq: 1e9})
+	if _, err := m.PredictAll(cfgs, 10); err == nil {
+		t.Fatal("PredictAll swallowed a missing-baseline error")
+	}
+}
+
+func TestInputsAccessor(t *testing.T) {
+	in := synthInputs(nil)
+	m := mustModel(t, in, nil)
+	if got := m.Inputs(); got.System != "synth" || got.BaselineIters != 10 {
+		t.Fatalf("Inputs() = %+v", got)
+	}
+}
+
+// Property: UCR in (0, 1], T > 0, E > 0, and the time breakdown sums to T
+// for arbitrary node counts and iteration scalings.
+func TestPredictionInvariantsProperty(t *testing.T) {
+	comm := StaticComm{{Count: 3, Bytes: 5e5}}
+	m := mustModel(t, synthInputs(comm), nil)
+	f := func(nRaw uint8, sRaw uint16) bool {
+		n := int(nRaw)%512 + 1
+		S := int(sRaw)%1000 + 1
+		p, err := m.Predict(machine.Config{Nodes: n, Cores: 2, Freq: 1e9}, S)
+		if err != nil {
+			return false
+		}
+		sum := p.TCPU + p.TwNet + p.TsNet + p.TMem
+		return p.UCR > 0 && p.UCR <= 1 &&
+			p.T > 0 && p.E > 0 &&
+			math.Abs(sum-p.T) < 1e-9*p.T+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for a communication-free program, more nodes never slow it
+// down and never raise per-prediction UCR above 1.
+func TestNoCommMoreNodesFasterProperty(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	f := func(aRaw, bRaw uint8) bool {
+		na, nb := int(aRaw)%64+1, int(bRaw)%64+1
+		if na > nb {
+			na, nb = nb, na
+		}
+		pa, err1 := m.Predict(machine.Config{Nodes: na, Cores: 2, Freq: 1e9}, 10)
+		pb, err2 := m.Predict(machine.Config{Nodes: nb, Cores: 2, Freq: 1e9}, 10)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return pb.T <= pa.T+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticCommClasses(t *testing.T) {
+	sc := StaticComm{{Count: 1, Bytes: 10}}
+	if got := sc.Classes(99); len(got) != 1 || got[0].Bytes != 10 {
+		t.Fatalf("Classes = %+v", got)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hybridperf/internal/machine"
+)
+
+// The JSON schema for persisted model inputs. Map keys (frequencies,
+// (c,f) points) become explicit records so the format is stable and
+// human-readable.
+
+type baselineJSON struct {
+	Cores int     `json:"cores"`
+	Freq  float64 `json:"freqHz"`
+	W     float64 `json:"workCycles"`
+	B     float64 `json:"bStallCycles"`
+	M     float64 `json:"memStallCycles"`
+	U     float64 `json:"utilization"`
+}
+
+type powerLevelJSON struct {
+	Freq   float64 `json:"freqHz"`
+	PAct   float64 `json:"pActW"`
+	PStall float64 `json:"pStallW"`
+}
+
+type inputsJSON struct {
+	System        string           `json:"system"`
+	Program       string           `json:"program"`
+	NetTopology   string           `json:"netTopology,omitempty"`
+	BaselineIters int              `json:"baselineIters"`
+	Baseline      []baselineJSON   `json:"baseline"`
+	Comm          *HybridComm      `json:"comm,omitempty"`
+	Net           NetModel         `json:"net"`
+	PowerLevels   []powerLevelJSON `json:"powerLevels"`
+	PMem          float64          `json:"pMemW"`
+	PNet          float64          `json:"pNetW"`
+	PSysIdle      float64          `json:"pSysIdleW"`
+}
+
+// SaveInputs writes characterised model inputs as JSON. Only nil and
+// HybridComm communication models are serialisable — the shapes the
+// characterisation pipeline produces.
+func SaveInputs(w io.Writer, in Inputs) error {
+	out := inputsJSON{
+		System:        in.System,
+		Program:       in.Program,
+		NetTopology:   string(in.NetTopology),
+		BaselineIters: in.BaselineIters,
+		Net:           in.Net,
+		PMem:          in.Power.PMem,
+		PNet:          in.Power.PNet,
+		PSysIdle:      in.Power.PSysIdle,
+	}
+	switch c := in.Comm.(type) {
+	case nil:
+	case HybridComm:
+		out.Comm = &c
+	case *HybridComm:
+		out.Comm = c
+	default:
+		return fmt.Errorf("core: cannot serialise communication model of type %T", in.Comm)
+	}
+	for cf, bp := range in.Baseline {
+		out.Baseline = append(out.Baseline, baselineJSON{
+			Cores: cf.Cores, Freq: cf.Freq, W: bp.W, B: bp.B, M: bp.M, U: bp.U,
+		})
+	}
+	sort.Slice(out.Baseline, func(i, j int) bool {
+		if out.Baseline[i].Cores != out.Baseline[j].Cores {
+			return out.Baseline[i].Cores < out.Baseline[j].Cores
+		}
+		return out.Baseline[i].Freq < out.Baseline[j].Freq
+	})
+	for f, pact := range in.Power.PAct {
+		out.PowerLevels = append(out.PowerLevels, powerLevelJSON{
+			Freq: f, PAct: pact, PStall: in.Power.PStall[f],
+		})
+	}
+	sort.Slice(out.PowerLevels, func(i, j int) bool { return out.PowerLevels[i].Freq < out.PowerLevels[j].Freq })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadInputs reads model inputs previously written by SaveInputs.
+func LoadInputs(r io.Reader) (Inputs, error) {
+	var raw inputsJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return Inputs{}, fmt.Errorf("core: decoding inputs: %w", err)
+	}
+	in := Inputs{
+		System:        raw.System,
+		Program:       raw.Program,
+		NetTopology:   machine.Topology(raw.NetTopology),
+		BaselineIters: raw.BaselineIters,
+		Baseline:      make(map[machine.CF]BaselinePoint, len(raw.Baseline)),
+		Net:           raw.Net,
+		Power: PowerModel{
+			PAct:     make(map[float64]float64, len(raw.PowerLevels)),
+			PStall:   make(map[float64]float64, len(raw.PowerLevels)),
+			PMem:     raw.PMem,
+			PNet:     raw.PNet,
+			PSysIdle: raw.PSysIdle,
+		},
+	}
+	if raw.Comm != nil {
+		in.Comm = *raw.Comm
+	}
+	for _, b := range raw.Baseline {
+		in.Baseline[machine.CF{Cores: b.Cores, Freq: b.Freq}] = BaselinePoint{W: b.W, B: b.B, M: b.M, U: b.U}
+	}
+	for _, pl := range raw.PowerLevels {
+		in.Power.PAct[pl.Freq] = pl.PAct
+		in.Power.PStall[pl.Freq] = pl.PStall
+	}
+	return in, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hybridperf/internal/machine"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	in := synthInputs(HybridComm{
+		HaloMsgs: 4, HaloBytes: 4e5, HaloExp: 0.7,
+		CollectiveBytes: 2e6, Barrier: true, AlltoallVolume: 1e6,
+	})
+	in.NetTopology = machine.TopologyCrossbar
+	var buf bytes.Buffer
+	if err := SaveInputs(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInputs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System != in.System || got.Program != in.Program || got.BaselineIters != in.BaselineIters {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if got.NetTopology != machine.TopologyCrossbar {
+		t.Fatalf("topology lost: %q", got.NetTopology)
+	}
+	if len(got.Baseline) != len(in.Baseline) {
+		t.Fatalf("baseline size %d, want %d", len(got.Baseline), len(in.Baseline))
+	}
+	for cf, bp := range in.Baseline {
+		if got.Baseline[cf] != bp {
+			t.Fatalf("baseline point %v = %+v, want %+v", cf, got.Baseline[cf], bp)
+		}
+	}
+	if got.Net != in.Net {
+		t.Fatalf("net %+v, want %+v", got.Net, in.Net)
+	}
+	hc, ok := got.Comm.(HybridComm)
+	if !ok {
+		t.Fatalf("loaded comm is %T", got.Comm)
+	}
+	if hc != in.Comm.(HybridComm) {
+		t.Fatalf("comm %+v, want %+v", hc, in.Comm)
+	}
+	if got.Power.PMem != in.Power.PMem || got.Power.PSysIdle != in.Power.PSysIdle {
+		t.Fatal("power scalars lost")
+	}
+	for f, w := range in.Power.PAct {
+		if got.Power.PAct[f] != w || got.Power.PStall[f] != in.Power.PStall[f] {
+			t.Fatalf("power level %g lost", f)
+		}
+	}
+}
+
+func TestSaveLoadPredictionsIdentical(t *testing.T) {
+	in := synthInputs(HybridComm{HaloMsgs: 2, HaloBytes: 1e6, HaloExp: 0.5})
+	m1 := mustModel(t, in, nil)
+	var buf bytes.Buffer
+	if err := SaveInputs(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadInputs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := mustModel(t, loaded, nil)
+	for _, n := range []int{1, 2, 8} {
+		cfg := machine.Config{Nodes: n, Cores: 2, Freq: 1e9}
+		a, err1 := m1.Predict(cfg, 30)
+		b, err2 := m2.Predict(cfg, 30)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a != b {
+			t.Fatalf("n=%d: predictions diverge after round trip:\n%+v\n%+v", n, a, b)
+		}
+	}
+}
+
+func TestSaveNilComm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveInputs(&buf, synthInputs(nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInputs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Comm != nil {
+		t.Fatalf("nil comm round-tripped to %T", got.Comm)
+	}
+	if strings.Contains(buf.String(), `"comm"`) {
+		t.Fatal("nil comm serialised as a field")
+	}
+}
+
+func TestSavePointerComm(t *testing.T) {
+	hc := &HybridComm{HaloMsgs: 1, HaloBytes: 10, HaloExp: 0}
+	var buf bytes.Buffer
+	if err := SaveInputs(&buf, synthInputs(hc)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInputs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Comm.(HybridComm) != *hc {
+		t.Fatal("pointer comm lost")
+	}
+}
+
+func TestSaveRejectsOpaqueComm(t *testing.T) {
+	var buf bytes.Buffer
+	err := SaveInputs(&buf, synthInputs(StaticComm{{Count: 1, Bytes: 1}}))
+	if err == nil {
+		t.Fatal("opaque comm model serialised")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadInputs(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestHybridCommClasses(t *testing.T) {
+	hc := HybridComm{HaloMsgs: 2, HaloBytes: 1000, HaloExp: 1, CollectiveBytes: 5000, Barrier: true}
+	if hc.Classes(1) != nil {
+		t.Fatal("single node should have no classes")
+	}
+	cl := hc.Classes(4)
+	if len(cl) != 3 {
+		t.Fatalf("%d classes, want halo+collective+barrier", len(cl))
+	}
+	// Halo at n=4 with exp 1: 1000*(2/4) = 500.
+	if cl[0].Bytes != 500 || cl[0].Sync {
+		t.Fatalf("halo class %+v", cl[0])
+	}
+	// ceil(log2 4) = 2 rounds.
+	if cl[1].Count != 2 || !cl[1].Sync || cl[1].Bytes != 5000 {
+		t.Fatalf("collective class %+v", cl[1])
+	}
+	if cl[2].Bytes != 8 || !cl[2].Sync {
+		t.Fatalf("barrier class %+v", cl[2])
+	}
+}
+
+func TestReduceRoundsMatchesDefinition(t *testing.T) {
+	for n, want := range map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 20: 5, 256: 8} {
+		if got := reduceRounds(n); got != want {
+			t.Errorf("reduceRounds(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

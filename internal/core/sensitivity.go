@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridperf/internal/machine"
+)
+
+// Sensitivity quantifies how strongly a prediction depends on each
+// measured input: the relative change of T and E when one input is scaled
+// by a factor, all else fixed. System designers use it the way the paper
+// uses UCR in Sec. V.B — to find which resource to invest in — and model
+// users use it to see which measurement errors matter.
+type Sensitivity struct {
+	Input  string  // which input was perturbed
+	Factor float64 // applied scale
+	DTPct  float64 // resulting relative change of T [%]
+	DEPct  float64 // resulting relative change of E [%]
+}
+
+// sensitivityInputs enumerates the perturbable inputs.
+var sensitivityInputs = []string{
+	"work-cycles",      // ws, bs: more/less computation per iteration
+	"mem-stall-cycles", // ms: memory pressure (1/x = memory bandwidth scaling)
+	"net-bandwidth",    // B: interconnect speed
+	"msg-volume",       // ν: communication volume
+	"power-idle",       // Psys,idle
+	"power-core",       // Pcore,act and Pcore,stall
+}
+
+// SensitivityInputs lists the input names Sensitivities perturbs.
+func SensitivityInputs() []string {
+	return append([]string(nil), sensitivityInputs...)
+}
+
+// scaledComm wraps a CommModel with a volume scale.
+type scaledComm struct {
+	inner CommModel
+	scale float64
+}
+
+// Classes implements CommModel.
+func (sc scaledComm) Classes(n int) []MsgClass {
+	src := sc.inner.Classes(n)
+	out := make([]MsgClass, len(src))
+	for i, mc := range src {
+		mc.Bytes *= sc.scale
+		out[i] = mc
+	}
+	return out
+}
+
+// perturbed builds a model with one input scaled by factor.
+func (m *Model) perturbed(input string, factor float64) (*Model, error) {
+	in := m.in
+	switch input {
+	case "work-cycles":
+		in.Baseline = scaleBaseline(m.in.Baseline, func(bp *BaselinePoint) {
+			bp.W *= factor
+			bp.B *= factor
+		})
+	case "mem-stall-cycles":
+		in.Baseline = scaleBaseline(m.in.Baseline, func(bp *BaselinePoint) {
+			bp.M *= factor
+		})
+	case "net-bandwidth":
+		opt := m.opt
+		opt.NetBandwidthScale *= factor
+		return &Model{in: in, opt: opt}, nil
+	case "msg-volume":
+		if in.Comm != nil {
+			in.Comm = scaledComm{inner: m.in.Comm, scale: factor}
+		}
+	case "power-idle":
+		in.Power.PSysIdle *= factor
+	case "power-core":
+		in.Power = scalePower(m.in.Power, factor)
+	default:
+		return nil, fmt.Errorf("core: unknown sensitivity input %q (want one of %v)", input, sensitivityInputs)
+	}
+	return &Model{in: in, opt: m.opt}, nil
+}
+
+func scaleBaseline(src map[machine.CF]BaselinePoint, f func(*BaselinePoint)) map[machine.CF]BaselinePoint {
+	out := make(map[machine.CF]BaselinePoint, len(src))
+	for k, bp := range src {
+		f(&bp)
+		out[k] = bp
+	}
+	return out
+}
+
+func scalePower(src PowerModel, factor float64) PowerModel {
+	out := src
+	out.PAct = make(map[float64]float64, len(src.PAct))
+	out.PStall = make(map[float64]float64, len(src.PStall))
+	for f, w := range src.PAct {
+		out.PAct[f] = w * factor
+	}
+	for f, w := range src.PStall {
+		out.PStall[f] = w * factor
+	}
+	return out
+}
+
+// Sensitivities evaluates the prediction's response to scaling each input
+// by the given factor (e.g. 1.1 for +10%), sorted by descending |ΔT|+|ΔE|.
+func (m *Model) Sensitivities(cfg machine.Config, S int, factor float64) ([]Sensitivity, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("core: sensitivity factor must be positive")
+	}
+	base, err := m.Predict(cfg, S)
+	if err != nil {
+		return nil, err
+	}
+	var out []Sensitivity
+	for _, input := range sensitivityInputs {
+		pm, err := m.perturbed(input, factor)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pm.Predict(cfg, S)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Sensitivity{
+			Input:  input,
+			Factor: factor,
+			DTPct:  (p.T/base.T - 1) * 100,
+			DEPct:  (p.E/base.E - 1) * 100,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi := abs(out[i].DTPct) + abs(out[i].DEPct)
+		wj := abs(out[j].DTPct) + abs(out[j].DEPct)
+		return wi > wj
+	})
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hybridperf/internal/machine"
+)
+
+func TestSensitivityDirections(t *testing.T) {
+	comm := StaticComm{{Count: 3, Bytes: 2e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	cfg := machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}
+	sens, err := m.Sensitivities(cfg, 20, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) != len(SensitivityInputs()) {
+		t.Fatalf("%d sensitivities, want %d", len(sens), len(SensitivityInputs()))
+	}
+	byName := map[string]Sensitivity{}
+	for _, s := range sens {
+		byName[s.Input] = s
+	}
+	// More work cycles -> slower and costlier.
+	if s := byName["work-cycles"]; s.DTPct <= 0 || s.DEPct <= 0 {
+		t.Errorf("work-cycles: %+v", s)
+	}
+	// More memory stalls -> slower and costlier.
+	if s := byName["mem-stall-cycles"]; s.DTPct <= 0 || s.DEPct <= 0 {
+		t.Errorf("mem-stall-cycles: %+v", s)
+	}
+	// Faster network -> not slower.
+	if s := byName["net-bandwidth"]; s.DTPct > 1e-9 {
+		t.Errorf("net-bandwidth: %+v", s)
+	}
+	// Bigger messages -> not faster.
+	if s := byName["msg-volume"]; s.DTPct < -1e-9 {
+		t.Errorf("msg-volume: %+v", s)
+	}
+	// Higher idle power -> same time, more energy.
+	if s := byName["power-idle"]; math.Abs(s.DTPct) > 1e-9 || s.DEPct <= 0 {
+		t.Errorf("power-idle: %+v", s)
+	}
+	// Higher core power -> same time, more energy.
+	if s := byName["power-core"]; math.Abs(s.DTPct) > 1e-9 || s.DEPct <= 0 {
+		t.Errorf("power-core: %+v", s)
+	}
+}
+
+func TestSensitivitySorted(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	sens, err := m.Sensitivities(machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sens); i++ {
+		wi := math.Abs(sens[i-1].DTPct) + math.Abs(sens[i-1].DEPct)
+		wj := math.Abs(sens[i].DTPct) + math.Abs(sens[i].DEPct)
+		if wj > wi+1e-12 {
+			t.Fatalf("sensitivities not sorted: %v", sens)
+		}
+	}
+}
+
+func TestSensitivityMatchesWhatIf(t *testing.T) {
+	// Scaling mem-stall-cycles by 0.5 must equal the Sec. V.B what-if of
+	// doubling memory bandwidth.
+	m := mustModel(t, synthInputs(nil), nil)
+	cfg := machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}
+	pm, err := m.perturbed("mem-stall-cycles", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := pm.Predict(cfg, 10)
+	b, err := m.WithOptions(Options{MemBandwidthScale: 2}).Predict(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.T-b.T) > 1e-12 || math.Abs(a.E-b.E) > 1e-9 {
+		t.Fatalf("perturbation and what-if disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestSensitivityDoesNotMutateModel(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	cfg := machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}
+	before, _ := m.Predict(cfg, 10)
+	if _, err := m.Sensitivities(cfg, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.Predict(cfg, 10)
+	if before != after {
+		t.Fatal("Sensitivities mutated the model")
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	m := mustModel(t, synthInputs(nil), nil)
+	cfg := machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}
+	if _, err := m.Sensitivities(cfg, 10, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := m.perturbed("bogus", 2); err == nil {
+		t.Error("unknown input accepted")
+	}
+}

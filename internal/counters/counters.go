@@ -1,0 +1,76 @@
+// Package counters implements the simulated hardware performance counters
+// the paper's workload characterisation reads: work cycles, non-memory
+// (pipeline) stall cycles, memory stall cycles and CPU utilisation, kept
+// per core and aggregated per run. These are the baseline-execution inputs
+// ws, bs, ms and Us of the analytical model (Table 1).
+package counters
+
+// Core accumulates one core's activity over a run. Durations are in
+// seconds of virtual time; cycle counts are derived with the run frequency.
+type Core struct {
+	WorkTime     float64 // executing work (and overlapped data access)
+	BStallTime   float64 // non-memory pipeline stalls
+	MemStallTime float64 // waiting for / being serviced by memory
+	NetWaitTime  float64 // idle, blocked on network communication
+	Instructions float64 // abstract instructions (work units) retired
+}
+
+// BusyTime returns the time the core was not idle (OS-visible busy time:
+// memory stalls count as busy, network waits do not).
+func (c Core) BusyTime() float64 { return c.WorkTime + c.BStallTime + c.MemStallTime }
+
+// Totals is the node- or cluster-level aggregation of core counters, in
+// the cycle units the model consumes.
+type Totals struct {
+	WorkCycles     float64 // w: summed over all cores
+	BStallCycles   float64 // b: non-memory stall cycles, summed
+	MemStallCycles float64 // m: memory stall cycles, summed
+	Instructions   float64 // I: abstract instructions, summed
+	NetWaitTime    float64 // summed network-blocked time [s]
+	BusyTime       float64 // summed busy time [s]
+	Cores          int     // number of cores aggregated
+	Elapsed        float64 // wall-clock of the run [s]
+}
+
+// Aggregate converts per-core counters at frequency f [Hz] over a run of
+// the given elapsed time into model-facing totals.
+func Aggregate(cores []Core, f, elapsed float64) Totals {
+	t := Totals{Cores: len(cores), Elapsed: elapsed}
+	for _, c := range cores {
+		t.WorkCycles += c.WorkTime * f
+		t.BStallCycles += c.BStallTime * f
+		t.MemStallCycles += c.MemStallTime * f
+		t.Instructions += c.Instructions
+		t.NetWaitTime += c.NetWaitTime
+		t.BusyTime += c.BusyTime()
+	}
+	return t
+}
+
+// Utilization returns mean CPU utilisation across the aggregated cores:
+// busy time over elapsed time, the quantity U the model's Eq. (6) uses.
+func (t Totals) Utilization() float64 {
+	if t.Elapsed <= 0 || t.Cores == 0 {
+		return 0
+	}
+	u := t.BusyTime / (t.Elapsed * float64(t.Cores))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Add accumulates other into t (for summing nodes into a cluster view).
+// Elapsed takes the maximum (makespan), Cores the sum.
+func (t *Totals) Add(other Totals) {
+	t.WorkCycles += other.WorkCycles
+	t.BStallCycles += other.BStallCycles
+	t.MemStallCycles += other.MemStallCycles
+	t.Instructions += other.Instructions
+	t.NetWaitTime += other.NetWaitTime
+	t.BusyTime += other.BusyTime
+	t.Cores += other.Cores
+	if other.Elapsed > t.Elapsed {
+		t.Elapsed = other.Elapsed
+	}
+}

@@ -1,0 +1,83 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBusyTime(t *testing.T) {
+	c := Core{WorkTime: 2, BStallTime: 1, MemStallTime: 3, NetWaitTime: 4}
+	if got := c.BusyTime(); got != 6 {
+		t.Fatalf("BusyTime = %g, want 6 (net wait is idle)", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	cores := []Core{
+		{WorkTime: 1, BStallTime: 0.5, MemStallTime: 0.25, Instructions: 100},
+		{WorkTime: 2, BStallTime: 1.0, MemStallTime: 0.75, Instructions: 200},
+	}
+	tot := Aggregate(cores, 2e9, 4)
+	if tot.WorkCycles != 6e9 {
+		t.Errorf("WorkCycles = %g, want 6e9", tot.WorkCycles)
+	}
+	if tot.BStallCycles != 3e9 {
+		t.Errorf("BStallCycles = %g, want 3e9", tot.BStallCycles)
+	}
+	if tot.MemStallCycles != 2e9 {
+		t.Errorf("MemStallCycles = %g, want 2e9", tot.MemStallCycles)
+	}
+	if tot.Instructions != 300 {
+		t.Errorf("Instructions = %g", tot.Instructions)
+	}
+	if tot.Cores != 2 || tot.Elapsed != 4 {
+		t.Errorf("Cores/Elapsed = %d/%g", tot.Cores, tot.Elapsed)
+	}
+	// Busy = (1+0.5+0.25)+(2+1+0.75) = 5.5 over 2 cores x 4 s.
+	if u := tot.Utilization(); math.Abs(u-5.5/8) > 1e-12 {
+		t.Errorf("Utilization = %g, want %g", u, 5.5/8)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	tot := Totals{BusyTime: 100, Cores: 1, Elapsed: 1}
+	if u := tot.Utilization(); u != 1 {
+		t.Fatalf("over-busy utilization = %g, want clamp at 1", u)
+	}
+	empty := Totals{}
+	if empty.Utilization() != 0 {
+		t.Fatal("empty utilization should be 0")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Totals{WorkCycles: 1, BStallCycles: 2, MemStallCycles: 3, Instructions: 4, NetWaitTime: 5, BusyTime: 6, Cores: 2, Elapsed: 7}
+	b := Totals{WorkCycles: 10, BStallCycles: 20, MemStallCycles: 30, Instructions: 40, NetWaitTime: 50, BusyTime: 60, Cores: 3, Elapsed: 5}
+	a.Add(b)
+	if a.WorkCycles != 11 || a.BStallCycles != 22 || a.MemStallCycles != 33 {
+		t.Fatalf("cycle sums wrong: %+v", a)
+	}
+	if a.Cores != 5 {
+		t.Fatalf("Cores = %d, want 5", a.Cores)
+	}
+	if a.Elapsed != 7 { // makespan, not sum
+		t.Fatalf("Elapsed = %g, want 7", a.Elapsed)
+	}
+}
+
+// Property: utilization is always in [0, 1].
+func TestUtilizationBoundsProperty(t *testing.T) {
+	f := func(busyRaw, elapsedRaw uint16, cores uint8) bool {
+		tot := Totals{
+			BusyTime: float64(busyRaw),
+			Elapsed:  float64(elapsedRaw),
+			Cores:    int(cores),
+		}
+		u := tot.Utilization()
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package des
+
+// Cond is a condition variable for simulated processes: a process waits
+// until another process broadcasts, then re-checks its predicate. Because
+// only one simulated process runs at a time there is no lock to associate.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait halts the calling process until the next Broadcast.
+// Callers should loop: for !pred() { cond.Wait(p) }.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.Halt()
+}
+
+// Broadcast wakes every waiting process at the current virtual time, in
+// FIFO order. Processes woken here run after the caller next yields.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.Wake()
+	}
+}
+
+// Waiting reports the number of processes blocked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Barrier synchronises a fixed-size party of simulated processes: each
+// arrival blocks until all n have arrived, then all proceed. Reusable for
+// successive rounds (like a pthreads/OpenMP barrier).
+type Barrier struct {
+	n       int
+	arrived int
+	cond    Cond
+}
+
+// NewBarrier creates a barrier for a party of n processes (n >= 1).
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Await blocks the calling process until n processes have arrived.
+// It returns true for the last arrival (the one that released the party).
+func (b *Barrier) Await(p *Proc) bool {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.cond.Broadcast()
+		return true
+	}
+	b.cond.Wait(p)
+	return false
+}
+
+// Party returns the barrier's party size.
+func (b *Barrier) Party() int { return b.n }

@@ -1,0 +1,238 @@
+// Package des implements a deterministic discrete-event simulation kernel
+// with goroutine-backed logical processes.
+//
+// The kernel advances a virtual clock over a priority queue of events.
+// Simulated processes are ordinary Go functions running in their own
+// goroutines; they interact with virtual time exclusively through their
+// *Proc handle (Advance, Halt, resource and condition primitives). At any
+// instant exactly one process executes, so process code needs no locking and
+// every run with the same inputs is bit-for-bit reproducible: ties in event
+// time are broken by a monotone sequence number.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// errAborted is the panic value injected into processes when the kernel
+// aborts a run (another process failed, or the caller stopped the kernel).
+// It is recovered by the process wrapper; user code never observes it.
+type abortSignal struct{}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+
+	yield   chan struct{} // signalled by the running process when it parks
+	live    int           // processes spawned and not yet finished
+	blocked int           // processes halted with no pending wake event
+	procs   []*Proc
+
+	failure error // first process panic, if any
+	aborted bool
+}
+
+// NewKernel returns an empty kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now reports the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Err reports the first process failure observed during Run, or nil.
+func (k *Kernel) Err() error { return k.failure }
+
+type event struct {
+	t   float64
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Proc is the handle through which a simulated process interacts with
+// virtual time. A Proc is only valid inside the function passed to Spawn
+// and must not be shared across simulated processes.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	wakeSeq uint64 // sequence of the pending wake event; 0 when halted
+	halted  bool
+	done    bool
+}
+
+// Name returns the label the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Spawn registers fn as a new simulated process that becomes runnable at
+// the current virtual time. fn runs in its own goroutine but only while the
+// kernel has scheduled it, so fn may freely touch state shared with other
+// simulated processes.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	k.live++
+	k.schedule(p, k.now)
+	go func() {
+		<-p.resume // wait for first dispatch
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok && k.failure == nil {
+					k.failure = fmt.Errorf("des: process %q panicked: %v", name, r)
+				}
+			}
+			p.done = true
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// schedule enqueues a wake event for p at time t.
+func (k *Kernel) schedule(p *Proc, t float64) {
+	k.seq++
+	p.wakeSeq = k.seq
+	heap.Push(&k.events, event{t: t, seq: k.seq, p: p})
+}
+
+// park transfers control from the running process back to the kernel and
+// blocks until the kernel dispatches this process again.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+	if p.k.aborted {
+		panic(abortSignal{})
+	}
+}
+
+// Advance suspends the process for dt seconds of virtual time.
+// Negative or NaN durations are treated as zero (the process yields and is
+// rescheduled at the current instant, after already-pending events).
+func (p *Proc) Advance(dt float64) {
+	if dt < 0 || math.IsNaN(dt) {
+		dt = 0
+	}
+	p.k.schedule(p, p.k.now+dt)
+	p.park()
+}
+
+// Halt blocks the process indefinitely until another process calls Wake.
+func (p *Proc) Halt() {
+	p.halted = true
+	p.wakeSeq = 0
+	p.k.blocked++
+	p.park()
+}
+
+// Wake makes a halted process runnable at the current virtual time.
+// Waking a process that is not halted panics: it would corrupt the
+// scheduler invariant that each process has at most one pending wake.
+func (p *Proc) Wake() {
+	if !p.halted {
+		panic(fmt.Sprintf("des: Wake on non-halted process %q", p.name))
+	}
+	p.halted = false
+	p.k.blocked--
+	p.k.schedule(p, p.k.now)
+}
+
+// DeadlockError reports a run that stopped because every live process was
+// halted with no pending events.
+type DeadlockError struct {
+	Time  float64
+	Procs []string // names of halted processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("des: deadlock at t=%g: %d process(es) halted: %v", e.Time, len(e.Procs), e.Procs)
+}
+
+// Run executes events until the event queue is empty, a process fails, or
+// the virtual clock would exceed until (use math.Inf(1) for no horizon).
+// It returns the first process failure, a *DeadlockError if live processes
+// remain halted with nothing scheduled, or nil.
+func (k *Kernel) Run(until float64) error {
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(event)
+		if ev.p.done || ev.seq != ev.p.wakeSeq {
+			continue // stale wake (process was rescheduled or finished)
+		}
+		if ev.t > until {
+			// Push back so a later Run can continue from here.
+			heap.Push(&k.events, ev)
+			return nil
+		}
+		if ev.t > k.now {
+			k.now = ev.t
+		}
+		ev.p.wakeSeq = 0
+		ev.p.resume <- struct{}{}
+		<-k.yield
+		if k.failure != nil {
+			k.abort()
+			return k.failure
+		}
+	}
+	if k.live > 0 {
+		var names []string
+		for _, p := range k.procs {
+			if !p.done && p.halted {
+				names = append(names, p.name)
+			}
+		}
+		sort.Strings(names)
+		err := &DeadlockError{Time: k.now, Procs: names}
+		k.abort()
+		return err
+	}
+	return nil
+}
+
+// abort unblocks every live process with an abort signal so their
+// goroutines exit; the kernel becomes unusable afterwards.
+func (k *Kernel) abort() {
+	if k.aborted {
+		return
+	}
+	k.aborted = true
+	for _, p := range k.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+}

@@ -1,0 +1,277 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestAdvanceOrdersEvents(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("b", func(p *Proc) {
+		p.Advance(2)
+		order = append(order, "b@2")
+	})
+	k.Spawn("a", func(p *Proc) {
+		p.Advance(1)
+		order = append(order, "a@1")
+		p.Advance(3)
+		order = append(order, "a@4")
+	})
+	if err := k.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a@1", "b@2", "a@4"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 4 {
+		t.Fatalf("Now() = %g, want 4", k.Now())
+	}
+}
+
+func TestTieBreakBySpawnOrder(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	for _, name := range []string{"p0", "p1", "p2"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			p.Advance(1) // all wake at t=1
+			order = append(order, name)
+		})
+	}
+	if err := k.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"p0", "p1", "p2"} {
+		if order[i] != name {
+			t.Fatalf("tie-break order %v, want spawn order", order)
+		}
+	}
+}
+
+func TestNegativeAndNaNAdvance(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		p.Advance(-5)
+		if p.Now() != 0 {
+			t.Errorf("negative advance moved clock to %g", p.Now())
+		}
+		p.Advance(math.NaN())
+		if p.Now() != 0 {
+			t.Errorf("NaN advance moved clock to %g", p.Now())
+		}
+	})
+	if err := k.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaltAndWake(t *testing.T) {
+	k := NewKernel()
+	var woken float64
+	var target *Proc
+	k.Spawn("sleeper", func(p *Proc) {
+		target = p
+		p.Halt()
+		woken = p.Now()
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Advance(5)
+		target.Wake()
+	})
+	if err := k.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Fatalf("sleeper woke at %g, want 5", woken)
+	}
+}
+
+func TestWakeNonHaltedPanics(t *testing.T) {
+	k := NewKernel()
+	var first *Proc
+	k.Spawn("a", func(p *Proc) {
+		first = p
+		p.Advance(1)
+	})
+	k.Spawn("b", func(p *Proc) {
+		first.Wake() // first has a pending wake event, not halted
+	})
+	// The panic unwinds process "b"; Run reports it as a failure.
+	err := k.Run(math.Inf(1))
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("Run() = %v, want panic failure", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("stuck1", func(p *Proc) { p.Halt() })
+	k.Spawn("stuck2", func(p *Proc) { p.Halt() })
+	err := k.Run(math.Inf(1))
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want *DeadlockError", err)
+	}
+	if len(de.Procs) != 2 {
+		t.Fatalf("deadlocked procs = %v, want 2", de.Procs)
+	}
+	if !strings.Contains(de.Error(), "stuck1") {
+		t.Fatalf("error %q does not name the stuck process", de.Error())
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("boom", func(p *Proc) {
+		p.Advance(1)
+		panic("kaboom")
+	})
+	k.Spawn("bystander", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Advance(1)
+		}
+	})
+	err := k.Run(math.Inf(1))
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Run() = %v, want propagated panic", err)
+	}
+	if k.Err() == nil {
+		t.Fatal("kernel did not record the failure")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := NewKernel()
+	steps := 0
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(1)
+			steps++
+		}
+	})
+	if err := k.Run(3.5); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 3 {
+		t.Fatalf("steps at horizon = %d, want 3", steps)
+	}
+	// Resuming continues from where the run stopped.
+	if err := k.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 10 {
+		t.Fatalf("steps after resume = %d, want 10", steps)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	trace := func(seed int64) []string {
+		k := NewKernel()
+		rng := rand.New(rand.NewSource(seed))
+		var out []string
+		for i := 0; i < 5; i++ {
+			name := string(rune('a' + i))
+			delays := make([]float64, 20)
+			for j := range delays {
+				delays[j] = rng.Float64()
+			}
+			k.Spawn(name, func(p *Proc) {
+				for _, d := range delays {
+					p.Advance(d)
+					out = append(out, name)
+				}
+			})
+		}
+		if err := k.Run(math.Inf(1)); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if strings.Join(a, "") != strings.Join(b, "") {
+		t.Fatal("identical seeds produced different interleavings")
+	}
+	c := trace(43)
+	if strings.Join(a, "") == strings.Join(c, "") {
+		t.Fatal("different seeds produced identical interleavings (suspicious)")
+	}
+}
+
+// TestVirtualTimeMatchesSortedDelays checks, property-style, that for any
+// set of one-shot processes the completion order equals the sorted delays.
+func TestVirtualTimeMatchesSortedDelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		delays := make([]float64, n)
+		for i := range delays {
+			delays[i] = rng.Float64() * 100
+		}
+		k := NewKernel()
+		var done []float64
+		for i := 0; i < n; i++ {
+			d := delays[i]
+			k.Spawn("p", func(p *Proc) {
+				p.Advance(d)
+				done = append(done, p.Now())
+			})
+		}
+		if err := k.Run(math.Inf(1)); err != nil {
+			t.Fatal(err)
+		}
+		if !sort.Float64sAreSorted(done) {
+			t.Fatalf("trial %d: completion times not sorted: %v", trial, done)
+		}
+		want := append([]float64(nil), delays...)
+		sort.Float64s(want)
+		for i := range want {
+			if done[i] != want[i] {
+				t.Fatalf("trial %d: completions %v != sorted delays %v", trial, done, want)
+			}
+		}
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	k := NewKernel()
+	var childTime float64
+	k.Spawn("parent", func(p *Proc) {
+		p.Advance(2)
+		k.Spawn("child", func(c *Proc) {
+			c.Advance(3)
+			childTime = c.Now()
+		})
+		p.Advance(10)
+	})
+	if err := k.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 5 {
+		t.Fatalf("child finished at %g, want 5", childTime)
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("named", func(p *Proc) {
+		if p.Name() != "named" {
+			t.Errorf("Name() = %q", p.Name())
+		}
+		if p.Kernel() != k {
+			t.Error("Kernel() mismatch")
+		}
+	})
+	if err := k.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+}

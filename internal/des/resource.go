@@ -1,0 +1,122 @@
+package des
+
+// Resource models a single-server FCFS queueing station (a memory
+// controller, a network switch port, a NIC). Processes call Serve to queue
+// for the server, occupy it for a service duration, and release it. The
+// resource keeps the aggregate statistics queueing theory predicts (waiting
+// time, utilisation) so simulations can be checked against closed forms.
+type Resource struct {
+	k     *Kernel
+	name  string
+	busy  bool
+	queue []*Proc // FCFS waiters, head is next to be granted
+
+	// Statistics.
+	served       int64
+	totalWait    float64
+	totalService float64
+	busySince    float64
+	busyTime     float64
+	lastReset    float64
+}
+
+// NewResource creates an idle single-server FCFS resource.
+func NewResource(k *Kernel, name string) *Resource {
+	return &Resource{k: k, name: name}
+}
+
+// Name returns the resource label.
+func (r *Resource) Name() string { return r.name }
+
+// Serve queues the calling process for the server, holds the server for
+// service seconds, releases it, and returns the time spent waiting in the
+// queue (excluding service).
+func (r *Resource) Serve(p *Proc, service float64) (wait float64) {
+	wait = r.Acquire(p)
+	p.Advance(service)
+	r.totalService += service
+	r.Release()
+	return wait
+}
+
+// Acquire queues the calling process and returns once it holds the server,
+// reporting the queueing delay. The caller must eventually call Release.
+func (r *Resource) Acquire(p *Proc) (wait float64) {
+	enq := r.k.now
+	if r.busy {
+		r.queue = append(r.queue, p)
+		p.Halt() // woken by Release when granted
+	} else {
+		r.busy = true
+		r.busySince = r.k.now
+	}
+	wait = r.k.now - enq
+	r.served++
+	r.totalWait += wait
+	return wait
+}
+
+// Release frees the server and grants it to the next waiter, if any.
+func (r *Resource) Release() {
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		// Server stays busy: hand-off is immediate.
+		next.Wake()
+		return
+	}
+	r.busy = false
+	r.busyTime += r.k.now - r.busySince
+}
+
+// QueueLen reports the number of processes waiting (not counting the one
+// in service).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Busy reports whether the server is occupied.
+func (r *Resource) Busy() bool { return r.busy }
+
+// Stats is a snapshot of a resource's aggregate behaviour.
+type ResourceStats struct {
+	Served       int64   // completed service requests
+	MeanWait     float64 // mean queueing delay per request [s]
+	MeanService  float64 // mean service time per request [s]
+	Utilization  float64 // fraction of elapsed time the server was busy
+	TotalWait    float64 // summed queueing delay [s]
+	TotalService float64 // summed service time [s]
+}
+
+// Stats returns the resource statistics accumulated since the last Reset
+// (or creation), using the current kernel time as the observation horizon.
+func (r *Resource) Stats() ResourceStats {
+	elapsed := r.k.now - r.lastReset
+	busy := r.busyTime
+	if r.busy {
+		busy += r.k.now - r.busySince
+	}
+	s := ResourceStats{
+		Served:       r.served,
+		TotalWait:    r.totalWait,
+		TotalService: r.totalService,
+	}
+	if r.served > 0 {
+		s.MeanWait = r.totalWait / float64(r.served)
+		s.MeanService = r.totalService / float64(r.served)
+	}
+	if elapsed > 0 {
+		s.Utilization = busy / elapsed
+	}
+	return s
+}
+
+// Reset zeroes the statistics; queue state is untouched.
+func (r *Resource) Reset() {
+	r.served = 0
+	r.totalWait = 0
+	r.totalService = 0
+	r.busyTime = 0
+	r.lastReset = r.k.now
+	if r.busy {
+		r.busySince = r.k.now
+	}
+}

@@ -1,0 +1,131 @@
+// Package dvfs implements runtime frequency governors for the simulated
+// cluster — the DVFS techniques of the paper's related work (Sec. II.A:
+// Kappiah et al., Ge et al., Hsu & Feng), which exploit inter-node slack
+// by lowering the frequency of nodes that idle at synchronisation points.
+// The paper notes these run-time techniques "can be used in conjunction
+// with our proposed approach": first pick a Pareto-optimal static
+// configuration with the model, then let a governor shave the residual
+// slack. The `dvfs` experiment artifact quantifies exactly that.
+package dvfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Governor decides a node's DVFS level at iteration boundaries.
+// Implementations are per-rank (they may keep state) and are invoked by
+// the workload runner on the master thread.
+type Governor interface {
+	// AfterIteration observes one finished iteration: its index, its
+	// duration [s], the fraction of it the rank spent blocked on the
+	// network, and the current frequency [Hz]. It returns the frequency
+	// for the next iteration (possibly unchanged).
+	AfterIteration(iter int, duration, netWaitFrac, current float64) float64
+}
+
+// InterNodeSlack is a just-in-time slack-reclamation governor: if a rank
+// spends more than DownThreshold of an iteration waiting on the network,
+// the node steps one DVFS level down (computation is not the critical
+// path); if the wait fraction falls below UpThreshold, it steps back up.
+// Hysteresis between the thresholds avoids oscillation.
+//
+// A makespan guard makes it safe on balanced SPMD codes, where slack is
+// symmetric (every rank waits on every other) and naive down-stepping
+// stretches the global critical path: if the iteration following a
+// down-step is noticeably longer, the step is reverted and the governor
+// holds for HoldIters iterations before probing again.
+type InterNodeSlack struct {
+	levels        []float64
+	DownThreshold float64 // step down above this network-wait fraction
+	UpThreshold   float64 // step up below this fraction
+	GuardFactor   float64 // revert a down-step if duration grows past this
+	HoldIters     int     // iterations to hold after a reverted step
+
+	lastDur     float64
+	steppedDown bool
+	hold        int
+}
+
+// NewInterNodeSlack creates the governor for a node's DVFS levels
+// (ascending). Zero thresholds default to 0.25/0.05; the makespan guard
+// defaults to 1.05 with an 8-iteration hold.
+func NewInterNodeSlack(levels []float64, down, up float64) (*InterNodeSlack, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("dvfs: no DVFS levels")
+	}
+	if !sort.Float64sAreSorted(levels) {
+		return nil, fmt.Errorf("dvfs: levels must be ascending")
+	}
+	if down == 0 {
+		down = 0.25
+	}
+	if up == 0 {
+		up = 0.05
+	}
+	if up >= down {
+		return nil, fmt.Errorf("dvfs: UpThreshold %g must be below DownThreshold %g", up, down)
+	}
+	return &InterNodeSlack{
+		levels:        append([]float64(nil), levels...),
+		DownThreshold: down,
+		UpThreshold:   up,
+		GuardFactor:   1.05,
+		HoldIters:     8,
+	}, nil
+}
+
+// AfterIteration implements Governor.
+func (g *InterNodeSlack) AfterIteration(_ int, duration, netWaitFrac, current float64) float64 {
+	prevDur := g.lastDur
+	g.lastDur = duration
+	idx := g.levelIndex(current)
+
+	if g.hold > 0 {
+		g.hold--
+		g.steppedDown = false
+		return current
+	}
+	if g.steppedDown {
+		g.steppedDown = false
+		if prevDur > 0 && duration > prevDur*g.GuardFactor {
+			// The down-step stretched the iteration: the slack was not
+			// real (symmetric waiting). Revert and hold.
+			g.hold = g.HoldIters
+			if idx < len(g.levels)-1 {
+				return g.levels[idx+1]
+			}
+			return current
+		}
+	}
+	switch {
+	case netWaitFrac > g.DownThreshold && idx > 0:
+		g.steppedDown = true
+		return g.levels[idx-1]
+	case netWaitFrac < g.UpThreshold && idx < len(g.levels)-1:
+		return g.levels[idx+1]
+	}
+	return current
+}
+
+// levelIndex returns the index of the closest level to f.
+func (g *InterNodeSlack) levelIndex(f float64) int {
+	best, bestD := 0, -1.0
+	for i, l := range g.levels {
+		d := l - f
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Fixed is a governor that pins a constant frequency — the degenerate
+// baseline, useful in tests and comparisons.
+type Fixed float64
+
+// AfterIteration implements Governor.
+func (f Fixed) AfterIteration(int, float64, float64, float64) float64 { return float64(f) }

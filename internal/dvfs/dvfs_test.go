@@ -1,0 +1,116 @@
+package dvfs
+
+import "testing"
+
+var levels = []float64{0.2e9, 0.5e9, 0.8e9, 1.1e9, 1.4e9}
+
+func mustGov(t *testing.T) *InterNodeSlack {
+	t.Helper()
+	g, err := NewInterNodeSlack(levels, 0.25, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStepDownOnSlack(t *testing.T) {
+	g := mustGov(t)
+	if got := g.AfterIteration(0, 1, 0.6, 1.4e9); got != 1.1e9 {
+		t.Fatalf("high slack at fmax -> %g, want one level down", got)
+	}
+}
+
+func TestStepUpWhenBusy(t *testing.T) {
+	g := mustGov(t)
+	if got := g.AfterIteration(0, 1, 0.0, 0.8e9); got != 1.1e9 {
+		t.Fatalf("no slack at 0.8 GHz -> %g, want one level up", got)
+	}
+}
+
+func TestHysteresisHolds(t *testing.T) {
+	g := mustGov(t)
+	if got := g.AfterIteration(0, 1, 0.15, 0.8e9); got != 0.8e9 {
+		t.Fatalf("slack inside hysteresis band moved the level to %g", got)
+	}
+}
+
+func TestClampedAtExtremes(t *testing.T) {
+	g := mustGov(t)
+	if got := g.AfterIteration(0, 1, 0.9, 0.2e9); got != 0.2e9 {
+		t.Fatalf("stepped below fmin: %g", got)
+	}
+	if got := g.AfterIteration(0, 1, 0.0, 1.4e9); got != 1.4e9 {
+		t.Fatalf("stepped above fmax: %g", got)
+	}
+}
+
+func TestConvergesToFloorUnderPersistentSlack(t *testing.T) {
+	g := mustGov(t)
+	f := 1.4e9
+	for i := 0; i < 10; i++ {
+		f = g.AfterIteration(i, 1, 0.8, f)
+	}
+	if f != 0.2e9 {
+		t.Fatalf("persistent slack settled at %g, want fmin", f)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewInterNodeSlack(nil, 0.25, 0.05); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := NewInterNodeSlack([]float64{2e9, 1e9}, 0.25, 0.05); err == nil {
+		t.Error("unsorted levels accepted")
+	}
+	if _, err := NewInterNodeSlack(levels, 0.05, 0.25); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+	g, err := NewInterNodeSlack(levels, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DownThreshold != 0.25 || g.UpThreshold != 0.05 {
+		t.Fatalf("defaults not applied: %+v", g)
+	}
+}
+
+func TestFixedGovernor(t *testing.T) {
+	g := Fixed(0.8e9)
+	if got := g.AfterIteration(3, 1, 0.9, 1.4e9); got != 0.8e9 {
+		t.Fatalf("Fixed governor returned %g", got)
+	}
+}
+
+func TestMakespanGuardReverts(t *testing.T) {
+	g := mustGov(t)
+	// High slack at fmax: step down.
+	f := g.AfterIteration(0, 1.0, 0.6, 1.4e9)
+	if f != 1.1e9 {
+		t.Fatalf("no down-step: %g", f)
+	}
+	// The next iteration is 20% longer: the slack was symmetric. Revert.
+	f = g.AfterIteration(1, 1.2, 0.6, f)
+	if f != 1.4e9 {
+		t.Fatalf("guard did not revert: %g", f)
+	}
+	// And hold: further slack readings do not step down immediately.
+	for i := 2; i < 2+g.HoldIters; i++ {
+		if got := g.AfterIteration(i, 1.2, 0.6, f); got != f {
+			t.Fatalf("hold violated at iteration %d: %g", i, got)
+		}
+	}
+	// After the hold, probing resumes.
+	if got := g.AfterIteration(99, 1.2, 0.6, f); got != 1.1e9 {
+		t.Fatalf("probe after hold gave %g", got)
+	}
+}
+
+func TestMakespanGuardKeepsGoodSteps(t *testing.T) {
+	g := mustGov(t)
+	f := g.AfterIteration(0, 1.0, 0.6, 1.4e9) // down to 1.1
+	// Duration unchanged: the step was free; keep descending.
+	f = g.AfterIteration(1, 1.0, 0.6, f)
+	if f != 0.8e9 {
+		t.Fatalf("good step not kept, now %g", f)
+	}
+}

@@ -1,0 +1,187 @@
+// Package exec assembles and runs one simulated execution of a hybrid
+// program on a cluster configuration, playing the role of the paper's
+// "direct measurement": it reports wall-clock time (the `time` command),
+// energy (the WattsUp meter, including its calibrated noise), hardware
+// counters and the mpiP communication profile.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hybridperf/internal/counters"
+	"hybridperf/internal/des"
+	"hybridperf/internal/dvfs"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/mpi"
+	"hybridperf/internal/node"
+	"hybridperf/internal/omp"
+	"hybridperf/internal/rng"
+	"hybridperf/internal/simnet"
+	"hybridperf/internal/trace"
+	"hybridperf/internal/workload"
+)
+
+// Request describes one measurement run.
+type Request struct {
+	Prof  *machine.Profile
+	Spec  *workload.Spec
+	Class workload.Class
+	Cfg   machine.Config
+	Seed  int64
+
+	// NoJitter disables OS-noise perturbation (micro-benchmark mode).
+	NoJitter bool
+	// NoMeterNoise reports exact integrated energy instead of a metered
+	// reading.
+	NoMeterNoise bool
+	// Governor, when non-nil, constructs a per-rank runtime DVFS governor
+	// that retunes node frequency at iteration boundaries. Cfg.Freq is
+	// the starting level.
+	Governor func(rank int) dvfs.Governor
+	// Trace records per-rank phase timelines into Result.Trace.
+	Trace bool
+}
+
+// Result is the measurement outcome of one run.
+type Result struct {
+	Program string
+	Class   workload.Class
+	Cfg     machine.Config
+
+	Time           float64              // makespan [s]
+	Energy         node.EnergyBreakdown // exact integrated cluster energy [J]
+	MeasuredEnergy float64              // metered cluster energy [J], noise applied
+	PerNode        []node.EnergyBreakdown
+
+	Trace []trace.Event // phase timeline (when requested)
+
+	Totals      counters.Totals   // cluster-wide counter aggregation
+	Utilization float64           // mean CPU utilisation U
+	Comm        mpi.Profile       // mpiP-style communication profile
+	MemWait     des.ResourceStats // node 0 memory controller statistics
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(req Request) (*Result, error) {
+	if err := req.Prof.Validate(); err != nil {
+		return nil, err
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := req.Prof.ValidateConfig(req.Cfg); err != nil {
+		return nil, err
+	}
+	if _, err := req.Spec.Iterations(req.Class); err != nil {
+		return nil, err
+	}
+
+	root := rng.New(req.Seed)
+	k := des.NewKernel()
+	sw := simnet.New(k, req.Prof, req.Cfg.Nodes)
+
+	nodes := make([]*node.Node, req.Cfg.Nodes)
+	for i := range nodes {
+		var jitter *rng.Stream
+		if !req.NoJitter {
+			jitter = root.Split(fmt.Sprintf("node%d", i))
+		}
+		nodes[i] = node.New(k, req.Prof, i, req.Cfg.Cores, req.Cfg.Freq, jitter)
+	}
+	world := mpi.NewWorld(k, sw, nodes)
+
+	var rec *trace.Recorder
+	if req.Trace {
+		rec = trace.NewRecorder(0)
+	}
+
+	var runErr error
+	for i := 0; i < req.Cfg.Nodes; i++ {
+		env := &workload.Env{
+			Rank:  world.Rank(i),
+			Team:  omp.NewTeam(k, nodes[i]),
+			Class: req.Class,
+		}
+		if req.Governor != nil {
+			env.Governor = req.Governor(i)
+		}
+		env.Trace = rec
+		k.Spawn(fmt.Sprintf("rank%d", i), func(p *des.Proc) {
+			if err := req.Spec.Run(p, env); err != nil && runErr == nil {
+				runErr = err
+			}
+		})
+	}
+	if err := k.Run(math.Inf(1)); err != nil {
+		return nil, fmt.Errorf("exec: %s on %v: %w", req.Spec.Name, req.Cfg, err)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &Result{
+		Program: req.Spec.Name,
+		Class:   req.Class,
+		Cfg:     req.Cfg,
+		Time:    k.Now(),
+		Comm:    world.Profile(),
+		MemWait: nodes[0].MemStats(),
+		Trace:   rec.Events(),
+	}
+	meterNoise := root.Split("meter")
+	for _, nd := range nodes {
+		e := nd.Energy()
+		res.PerNode = append(res.PerNode, e)
+		res.Energy.Add(e)
+		res.Totals.Add(nd.Totals(res.Time))
+	}
+	res.Utilization = res.Totals.Utilization()
+	res.MeasuredEnergy = res.Energy.Total()
+	if !req.NoMeterNoise {
+		// The meter's power reading per node is offset by a slowly-varying
+		// error with stddev MeterNoiseW (paper Sec. IV.C), integrating to
+		// an energy offset proportional to the run time.
+		for range nodes {
+			res.MeasuredEnergy += meterNoise.Normal(0, req.Prof.MeterNoiseW) * res.Time
+		}
+		if res.MeasuredEnergy < 0 {
+			res.MeasuredEnergy = 0
+		}
+	}
+	return res, nil
+}
+
+// Sweep runs the requests concurrently on up to `workers` goroutines
+// (each simulation has its own kernel, so runs are independent) and
+// returns results in request order. The first error aborts pending work.
+func Sweep(reqs []Request, workers int) ([]*Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = Run(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exec: sweep request %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

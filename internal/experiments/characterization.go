@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridperf/internal/machine"
+	"hybridperf/internal/textplot"
+	"hybridperf/internal/workload"
+)
+
+// Fig3 regenerates the network characterisation figure: message latency
+// and achieved throughput against message size on the ARM cluster's
+// 100 Mbps link, where the paper observes ~90 Mbps peak due to MPI and OS
+// overheads.
+func (r *Runner) Fig3() (*Artifact, error) {
+	prof := machine.ARMCortexA9()
+	sum, _, err := r.characterization(prof, workload.LU())
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, p := range sum.NetPipe {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", p.Bytes),
+			fmt.Sprintf("%.6f", p.Latency),
+			fmt.Sprintf("%.2f", p.Mbps()),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Network characterisation (%s, %.0f Mbps link)\n\n", prof.Name, prof.LinkBandwidth/1e6)
+	b.WriteString(textplot.Table([]string{"Message Size [B]", "Latency [s]", "Throughput [Mbps]"}, rows))
+	peak := sum.Inputs.Net.Peak * 8 / 1e6
+	fmt.Fprintf(&b, "\nFitted service model: y(s) = %.1f us + s / %.2f Mbps\n", sum.Inputs.Net.Overhead*1e6, peak)
+	fmt.Fprintf(&b, "Paper: maximum achievable throughput on the 100 Mbps link is ~90 Mbps.\n")
+	fmt.Fprintf(&b, "Here:  peak achieved %.1f Mbps (largest message %.1f Mbps).\n",
+		peak, sum.NetPipe[len(sum.NetPipe)-1].Mbps())
+	return &Artifact{ID: "fig3", Title: "Figure 3: Network characterization", Text: b.String()}, nil
+}
+
+// Table3 renders the validation systems table.
+func (r *Runner) Table3() (*Artifact, error) {
+	profs := []*machine.Profile{machine.XeonE5(), machine.ARMCortexA9()}
+	headers := []string{"System"}
+	for _, p := range profs {
+		headers = append(headers, p.Name)
+	}
+	row := func(name string, f func(*machine.Profile) string) []string {
+		cells := []string{name}
+		for _, p := range profs {
+			cells = append(cells, f(p))
+		}
+		return cells
+	}
+	rows := [][]string{
+		row("ISA", func(p *machine.Profile) string { return p.ISA }),
+		row("Nodes", func(p *machine.Profile) string { return fmt.Sprintf("%d", p.MaxNodes) }),
+		row("Cores/node", func(p *machine.Profile) string { return fmt.Sprintf("%d", p.CoresPerNode) }),
+		row("Clock Frequency", func(p *machine.Profile) string {
+			return fmt.Sprintf("%.1f-%.1f GHz (%d levels)", p.FMin()/1e9, p.FMax()/1e9, len(p.Frequencies))
+		}),
+		row("Memory bandwidth", func(p *machine.Profile) string { return fmt.Sprintf("%.1f GB/s", p.MemBandwidth/1e9) }),
+		row("Per-core mem bandwidth", func(p *machine.Profile) string { return fmt.Sprintf("%.2f GB/s", p.MemCoreBandwidth/1e9) }),
+		row("I/O bandwidth", func(p *machine.Profile) string { return fmt.Sprintf("%.0f Mbps", p.LinkBandwidth/1e6) }),
+		row("Idle power", func(p *machine.Profile) string { return fmt.Sprintf("%.1f W", p.PSysIdle) }),
+		row("Peak core power", func(p *machine.Profile) string { return fmt.Sprintf("%.2f W", p.PCoreAct.At(p.FMax())) }),
+	}
+	text := "Systems used for validation (Table 3 analogue; power rows are this\nrepository's calibrated profile values)\n\n" +
+		textplot.Table(headers, rows)
+	return &Artifact{ID: "table3", Title: "Table 3: Systems used for validation", Text: text}, nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hybridperf/internal/machine"
+	"hybridperf/internal/pareto"
+	"hybridperf/internal/workload"
+)
+
+// fastRunner is shared across tests in this package: artifacts cache their
+// characterisations, so reuse is cheap and keeps the suite quick.
+var fastRunner = NewRunner(Config{Fast: true, Seed: 7, Workers: 8})
+
+func TestIDsRoundTrip(t *testing.T) {
+	for _, id := range IDs() {
+		a, err := fastRunner.ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.ID != id {
+			t.Errorf("artifact id %q for request %q", a.ID, id)
+		}
+		if a.Title == "" || a.Text == "" {
+			t.Errorf("%s: empty artifact", id)
+		}
+	}
+	if _, err := fastRunner.ByID("fig99"); err == nil {
+		t.Error("unknown artifact id accepted")
+	}
+}
+
+func TestAllReturnsEverything(t *testing.T) {
+	arts, err := fastRunner.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(IDs()) {
+		t.Fatalf("All() returned %d artifacts, want %d", len(arts), len(IDs()))
+	}
+}
+
+func TestFig3Peak(t *testing.T) {
+	a, err := fastRunner.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "90.0 Mbps") {
+		t.Fatalf("Figure 3 lost the ~90 Mbps peak:\n%s", a.Text)
+	}
+	if !strings.Contains(a.Text, "Throughput [Mbps]") {
+		t.Fatal("Figure 3 missing throughput column")
+	}
+}
+
+func TestTable3ListsBothSystems(t *testing.T) {
+	a, err := fastRunner.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"xeon-e5-2603", "arm-cortex-a9", "x86_64", "armv7-a", "1000 Mbps", "100 Mbps"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+}
+
+func TestValidationFiguresReportErrors(t *testing.T) {
+	for _, id := range []string{"fig5", "fig6", "fig7"} {
+		a, err := fastRunner.ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(a.Text, "Measured") || !strings.Contains(a.Text, "Predicted") {
+			t.Errorf("%s missing measured/predicted series", id)
+		}
+		if !strings.Contains(a.Text, "mean |error|") {
+			t.Errorf("%s missing error summary", id)
+		}
+	}
+}
+
+func TestTable2HasAllPrograms(t *testing.T) {
+	a, err := fastRunner.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range workload.Programs() {
+		if !strings.Contains(a.Text, spec.Suite) {
+			t.Errorf("Table 2 missing suite %q", spec.Suite)
+		}
+	}
+	for _, want := range []string{"LU", "SP", "BT", "CP", "LB", "T-Xeon", "E-ARM"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestParetoFiguresShowFrontier(t *testing.T) {
+	for _, id := range []string{"fig8", "fig9"} {
+		a, err := fastRunner.ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(a.Text, "Pareto-optimal configurations") {
+			t.Errorf("%s missing frontier table", id)
+		}
+		if !strings.Contains(a.Text, "UCR upper bound") {
+			t.Errorf("%s missing the UCR bound", id)
+		}
+	}
+}
+
+func TestUCRFiguresCoverPrograms(t *testing.T) {
+	for _, id := range []string{"fig10", "fig11"} {
+		a, err := fastRunner.ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, prog := range []string{"LU", "SP", "BT", "CP", "LB"} {
+			if !strings.Contains(a.Text, prog+" UCR") {
+				t.Errorf("%s missing %s UCR column", id, prog)
+			}
+		}
+	}
+}
+
+func TestWhatIfImprovesConfiguration(t *testing.T) {
+	a, err := fastRunner.WhatIf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "2x memory bandwidth") {
+		t.Fatal("what-if missing the scaled scenario")
+	}
+	// Deltas must be negative (time and energy drop).
+	if !strings.Contains(a.Text, "time -") || !strings.Contains(a.Text, "energy -") {
+		t.Fatalf("what-if did not improve time/energy:\n%s", a.Text)
+	}
+}
+
+// The Sec. V.A insight tests (experiment E12 in DESIGN.md) run on the
+// real model rather than rendered text.
+
+// insightPoints evaluates the ARM CP space of Figure 9 (reduced in fast
+// mode) and returns all points plus the frontier.
+func insightPoints(t *testing.T) ([]pareto.Point, []pareto.Point) {
+	t.Helper()
+	prof := machine.ARMCortexA9()
+	_, model, err := fastRunner.characterization(prof, workload.CP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := pareto.Space(pareto.Range(1, 8), prof.CoresPerNode, prof.Frequencies)
+	S := fastRunner.iterations(workload.CP())
+	points, err := pareto.Evaluate(model, cfgs, S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points, pareto.Frontier(points)
+}
+
+func TestParetoInsightFrontierExists(t *testing.T) {
+	points, front := insightPoints(t)
+	if len(front) < 3 {
+		t.Fatalf("frontier has %d points over %d configurations", len(front), len(points))
+	}
+	if len(front) >= len(points) {
+		t.Fatal("frontier degenerate: every configuration is optimal")
+	}
+}
+
+func TestParetoInsightRelaxedDeadlineFewerNodesLessEnergy(t *testing.T) {
+	_, front := insightPoints(t)
+	// Walking the frontier from tight to relaxed deadlines, node count
+	// must trend down while energy strictly decreases (Sec. V.A insight 1).
+	first, last := front[0], front[len(front)-1]
+	if last.Cfg.Nodes >= first.Cfg.Nodes {
+		t.Fatalf("relaxed end uses %d nodes, tight end %d — expected fewer", last.Cfg.Nodes, first.Cfg.Nodes)
+	}
+	if last.Pred.E >= first.Pred.E {
+		t.Fatalf("relaxed end energy %g >= tight end %g", last.Pred.E, first.Pred.E)
+	}
+}
+
+func TestParetoInsightUCRRisesAlongFrontier(t *testing.T) {
+	_, front := insightPoints(t)
+	// The paper: decreasing node count reduces contention, raising UCR.
+	if front[len(front)-1].Pred.UCR <= front[0].Pred.UCR {
+		t.Fatalf("UCR at relaxed end %.2f not above tight end %.2f",
+			front[len(front)-1].Pred.UCR, front[0].Pred.UCR)
+	}
+}
+
+func TestParetoInsightFrontierUCRBelowBound(t *testing.T) {
+	prof := machine.ARMCortexA9()
+	_, model, err := fastRunner.characterization(prof, workload.CP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := fastRunner.iterations(workload.CP())
+	bound, err := model.Predict(machine.Config{Nodes: 1, Cores: 1, Freq: prof.FMin()}, S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, front := insightPoints(t)
+	for _, p := range front {
+		if p.Pred.UCR > bound.UCR+1e-9 {
+			t.Fatalf("frontier point %v UCR %.3f exceeds the (1,1,fmin) bound %.3f",
+				p.Cfg, p.Pred.UCR, bound.UCR)
+		}
+	}
+}
+
+func TestMeasureCacheConsistency(t *testing.T) {
+	prof := machine.XeonE5()
+	spec := workload.SP()
+	cfgs := []machine.Config{{Nodes: 2, Cores: 2, Freq: prof.FMax()}}
+	a, err := fastRunner.measure(prof, spec, workload.ClassS, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fastRunner.measure(prof, spec, workload.ClassS, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatal("cache returned a different result object")
+	}
+}

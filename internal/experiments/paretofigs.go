@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridperf/internal/machine"
+	"hybridperf/internal/pareto"
+	"hybridperf/internal/textplot"
+	"hybridperf/internal/workload"
+)
+
+// paretoFigure evaluates the model over a configuration space, extracts
+// the frontier and renders the scatter + frontier table of Figures 8/9.
+func (r *Runner) paretoFigure(id, title string, prof *machine.Profile, spec *workload.Spec, nodes []int) (*Artifact, error) {
+	_, model, err := r.characterization(prof, spec)
+	if err != nil {
+		return nil, err
+	}
+	S := r.iterations(spec)
+	cfgs := pareto.Space(nodes, prof.CoresPerNode, prof.Frequencies)
+	points, err := pareto.Evaluate(model, cfgs, S)
+	if err != nil {
+		return nil, err
+	}
+	front := pareto.Frontier(points)
+
+	var xys []textplot.XY
+	for _, p := range points {
+		xys = append(xys, textplot.XY{X: p.Pred.T, Y: p.Pred.E / 1e3})
+	}
+	for _, p := range front {
+		xys = append(xys, textplot.XY{X: p.Pred.T, Y: p.Pred.E / 1e3, Highlight: true})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s executing %s (%d configurations)\n\n", title, prof.Name, spec.Name, len(points))
+	b.WriteString(textplot.Scatter("All configurations with Pareto frontier",
+		"Execution Time [s]", "Energy [kJ]", xys, 72, 22, true, false))
+	b.WriteString("\nPareto-optimal configurations (min energy for any deadline >= its T):\n\n")
+	var rows [][]string
+	for _, p := range front {
+		rows = append(rows, []string{
+			p.Cfg.String(),
+			fmt.Sprintf("%.1f", p.Pred.T),
+			fmt.Sprintf("%.2f", p.Pred.E/1e3),
+			fmt.Sprintf("%.2f", p.Pred.UCR),
+			fmt.Sprintf("%.2f", p.Pred.NetRho),
+		})
+	}
+	b.WriteString(textplot.Table([]string{"(n,c,f[GHz])", "Time[s]", "Energy[kJ]", "UCR", "NetRho"}, rows))
+
+	// The single-node single-core fmin point bounds the achievable UCR.
+	bound, err := model.Predict(machine.Config{Nodes: 1, Cores: 1, Freq: prof.FMin()}, S)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "\nUCR upper bound at (1,1,%.1f): %.2f\n", prof.FMin()/1e9, bound.UCR)
+	return &Artifact{ID: id, Title: title, Text: b.String()}, nil
+}
+
+// Fig8 regenerates the Xeon SP Pareto plot: 216 configurations from
+// n in {1..256 powers of two} x c in 1..8 x f in {1.2,1.5,1.8} GHz.
+// Node counts beyond the 8-node testbed are model extrapolations, exactly
+// as in the paper.
+func (r *Runner) Fig8() (*Artifact, error) {
+	max := 256
+	if r.cfg.Fast {
+		max = 16
+	}
+	return r.paretoFigure("fig8", "Figure 8: Xeon cluster executing SP program",
+		machine.XeonE5(), workload.SP(), pareto.PowersOfTwo(max))
+}
+
+// Fig9 regenerates the ARM CP Pareto plot: 400 configurations from
+// n in 1..20 x c in 1..4 x f in {0.2,0.5,0.8,1.1,1.4} GHz.
+func (r *Runner) Fig9() (*Artifact, error) {
+	hi := 20
+	if r.cfg.Fast {
+		hi = 6
+	}
+	return r.paretoFigure("fig9", "Figure 9: ARM cluster executing CP program",
+		machine.ARMCortexA9(), workload.CP(), pareto.Range(1, hi))
+}

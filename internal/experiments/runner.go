@@ -1,0 +1,231 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. IV-V) against this repository's simulated clusters:
+// network characterisation (Fig 3), time/energy validation (Figs 5-7,
+// Table 2), system parameters (Table 3), Pareto frontiers (Figs 8-9), UCR
+// analyses (Figs 10-11) and the Sec. V.B memory-bandwidth what-if — plus
+// two extension artifacts: runtime DVFS composed with static
+// configurations ("dvfs") and the interconnect-topology ablation
+// ("topology").
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hybridperf/internal/characterize"
+	"hybridperf/internal/core"
+	"hybridperf/internal/exec"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/workload"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Seed    int64
+	Workers int  // simulation parallelism (default: GOMAXPROCS)
+	Fast    bool // reduced grids and input class, for tests
+}
+
+func (c *Config) fill() {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 20150525 // IPDPS 2015 conference date
+	}
+}
+
+// Artifact is one regenerated table or figure.
+type Artifact struct {
+	ID    string // e.g. "fig8", "table2"
+	Title string
+	Text  string // rendered content
+}
+
+// Runner caches characterisations and measurement runs across artifacts.
+type Runner struct {
+	cfg Config
+
+	mu    sync.Mutex
+	chars map[string]*charEntry
+	runs  map[runKey]*exec.Result
+}
+
+type charEntry struct {
+	sum   *characterize.Summary
+	model *core.Model
+}
+
+type runKey struct {
+	system  string
+	program string
+	class   workload.Class
+	cfg     machine.Config
+}
+
+// NewRunner creates a runner for the given configuration.
+func NewRunner(cfg Config) *Runner {
+	cfg.fill()
+	return &Runner{
+		cfg:   cfg,
+		chars: make(map[string]*charEntry),
+		runs:  make(map[runKey]*exec.Result),
+	}
+}
+
+// validationClass returns the input class used for "measured" validation
+// runs: the paper's larger input, reduced in fast mode.
+func (r *Runner) validationClass() workload.Class {
+	if r.cfg.Fast {
+		return workload.ClassS
+	}
+	return workload.ClassA
+}
+
+// characterization returns the (cached) model inputs for one program on
+// one system.
+func (r *Runner) characterization(prof *machine.Profile, spec *workload.Spec) (*characterize.Summary, *core.Model, error) {
+	key := prof.Name + "/" + spec.Name
+	r.mu.Lock()
+	e, ok := r.chars[key]
+	r.mu.Unlock()
+	if ok {
+		return e.sum, e.model, nil
+	}
+	sum, err := characterize.Run(prof, spec, characterize.Options{
+		Seed:    r.cfg.Seed,
+		Workers: r.cfg.Workers,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: characterize %s on %s: %w", spec.Name, prof.Name, err)
+	}
+	model, err := core.New(sum.Inputs, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	r.chars[key] = &charEntry{sum: sum, model: model}
+	r.mu.Unlock()
+	return sum, model, nil
+}
+
+// measure runs (or returns the cached) simulated measurement for the given
+// configurations, in order.
+func (r *Runner) measure(prof *machine.Profile, spec *workload.Spec, class workload.Class, cfgs []machine.Config) ([]*exec.Result, error) {
+	out := make([]*exec.Result, len(cfgs))
+	var missing []int
+	var reqs []exec.Request
+	r.mu.Lock()
+	for i, cfg := range cfgs {
+		key := runKey{prof.Name, spec.Name, class, cfg}
+		if res, ok := r.runs[key]; ok {
+			out[i] = res
+			continue
+		}
+		missing = append(missing, i)
+		reqs = append(reqs, exec.Request{
+			Prof:  prof,
+			Spec:  spec,
+			Class: class,
+			Cfg:   cfg,
+			Seed:  r.cfg.Seed + measureSeed(key),
+		})
+	}
+	r.mu.Unlock()
+	if len(reqs) > 0 {
+		results, err := exec.Sweep(reqs, r.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		for j, i := range missing {
+			out[i] = results[j]
+			r.runs[runKey{prof.Name, spec.Name, class, cfgs[i]}] = results[j]
+		}
+		r.mu.Unlock()
+	}
+	return out, nil
+}
+
+// measureSeed derives a stable per-run seed offset from the run key so
+// measured runs differ from characterisation runs and from each other.
+func measureSeed(k runKey) int64 {
+	h := int64(1469598103934665603)
+	for _, s := range []string{k.system, k.program, string(k.class), k.cfg.String()} {
+		for _, b := range []byte(s) {
+			h ^= int64(b)
+			h *= 1099511628211
+		}
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % 1000003
+}
+
+// iterations returns S for a program at the validation class.
+func (r *Runner) iterations(spec *workload.Spec) int {
+	s, err := spec.Iterations(r.validationClass())
+	if err != nil {
+		panic(err) // classes are internal constants; cannot fail
+	}
+	return s
+}
+
+// All regenerates every artifact in paper order.
+func (r *Runner) All() ([]*Artifact, error) {
+	var out []*Artifact
+	for _, id := range IDs() {
+		a, err := r.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// IDs lists the artifact identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"fig3", "table3", "fig5", "fig6", "fig7", "table2",
+		"fig8", "fig9", "fig10", "fig11", "whatif", "dvfs", "topology",
+	}
+}
+
+// ByID regenerates one artifact.
+func (r *Runner) ByID(id string) (*Artifact, error) {
+	switch id {
+	case "fig3":
+		return r.Fig3()
+	case "table3":
+		return r.Table3()
+	case "fig5":
+		return r.Fig5()
+	case "fig6":
+		return r.Fig6()
+	case "fig7":
+		return r.Fig7()
+	case "table2":
+		return r.Table2()
+	case "fig8":
+		return r.Fig8()
+	case "fig9":
+		return r.Fig9()
+	case "fig10":
+		return r.Fig10()
+	case "fig11":
+		return r.Fig11()
+	case "whatif":
+		return r.WhatIf()
+	case "dvfs":
+		return r.DVFSExp()
+	case "topology":
+		return r.TopologyExp()
+	}
+	ids := IDs()
+	sort.Strings(ids)
+	return nil, fmt.Errorf("experiments: unknown artifact %q (want one of %v)", id, ids)
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridperf/internal/machine"
+	"hybridperf/internal/pareto"
+	"hybridperf/internal/textplot"
+	"hybridperf/internal/workload"
+)
+
+// TopologyExp is an extension experiment: the same Figure-8 sweep (SP on
+// the Xeon cluster, up to 256 nodes) under the two interconnect models.
+// The paper's Eq. (5) treats the network as one shared M/G/1 server (star
+// topology), under which aggregate switch capacity eventually caps
+// scale-out; a modern non-blocking crossbar contends only at ports, so
+// scaling continues to much larger node counts — this artifact shows the
+// Pareto frontier under both assumptions and explains why our shared-
+// medium Figure 8 stops growing at a node count where the paper's
+// open-loop extrapolation kept going.
+func (r *Runner) TopologyExp() (*Artifact, error) {
+	spec := workload.SP()
+	max := 256
+	if r.cfg.Fast {
+		max = 32
+	}
+	var b strings.Builder
+	b.WriteString("Interconnect-topology ablation: SP Pareto sweep under the paper's\n")
+	b.WriteString("shared-medium switch vs a non-blocking crossbar (extension).\n\n")
+	for _, topo := range []machine.Topology{machine.TopologyShared, machine.TopologyCrossbar} {
+		prof := machine.XeonE5()
+		prof.Topology = topo
+		if topo != machine.TopologyShared {
+			prof.Name = prof.Name + "-crossbar"
+		}
+		_, model, err := r.characterization(prof, spec)
+		if err != nil {
+			return nil, err
+		}
+		S := r.iterations(spec)
+		cfgs := pareto.Space(pareto.PowersOfTwo(max), prof.CoresPerNode, prof.Frequencies)
+		points, err := pareto.Evaluate(model, cfgs, S)
+		if err != nil {
+			return nil, err
+		}
+		front := pareto.Frontier(points)
+		fmt.Fprintf(&b, "--- topology: %s (%d configurations, %d Pareto-optimal)\n\n", topo, len(points), len(front))
+		var rows [][]string
+		for _, p := range front {
+			rows = append(rows, []string{
+				p.Cfg.String(),
+				fmt.Sprintf("%.2f", p.Pred.T),
+				fmt.Sprintf("%.2f", p.Pred.E/1e3),
+				fmt.Sprintf("%.2f", p.Pred.UCR),
+				fmt.Sprintf("%.2f", p.Pred.NetRho),
+			})
+		}
+		b.WriteString(textplot.Table([]string{"(n,c,f[GHz])", "Time[s]", "Energy[kJ]", "UCR", "NetRho"}, rows))
+		b.WriteString("\n")
+	}
+	b.WriteString("Reading: the crossbar frontier's fast end reaches far larger node\n")
+	b.WriteString("counts (per-port contention only), approaching the paper's 256-node\n")
+	b.WriteString("extrapolation; the shared medium saturates in aggregate first.\n")
+	return &Artifact{ID: "topology", Title: "Extension: interconnect topology ablation", Text: b.String()}, nil
+}

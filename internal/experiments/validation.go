@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridperf/internal/machine"
+	"hybridperf/internal/stats"
+	"hybridperf/internal/textplot"
+	"hybridperf/internal/workload"
+)
+
+// series holds paired measured/predicted values for a configuration list.
+type series struct {
+	cfgs             []machine.Config
+	measT, predT     []float64
+	measE, predE     []float64
+	measUCR, predUCR []float64
+}
+
+// validate runs the model and the simulator over cfgs for one program.
+func (r *Runner) validate(prof *machine.Profile, spec *workload.Spec, cfgs []machine.Config) (*series, error) {
+	_, model, err := r.characterization(prof, spec)
+	if err != nil {
+		return nil, err
+	}
+	class := r.validationClass()
+	results, err := r.measure(prof, spec, class, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	S := r.iterations(spec)
+	s := &series{cfgs: cfgs}
+	for i, cfg := range cfgs {
+		pred, err := model.Predict(cfg, S)
+		if err != nil {
+			return nil, err
+		}
+		meas := results[i]
+		s.measT = append(s.measT, meas.Time)
+		s.predT = append(s.predT, pred.T)
+		s.measE = append(s.measE, meas.MeasuredEnergy)
+		s.predE = append(s.predE, pred.E)
+		tot := meas.Totals
+		busy := tot.WorkCycles + tot.BStallCycles
+		denom := meas.Time * float64(cfg.Nodes*cfg.Cores) * cfg.Freq
+		mu := 0.0
+		if denom > 0 {
+			mu = busy / denom
+		}
+		s.measUCR = append(s.measUCR, mu)
+		s.predUCR = append(s.predUCR, pred.UCR)
+	}
+	return s, nil
+}
+
+// validationGrid returns the paper's full validation configuration space
+// for a system: n in {1,2,4,8} x all core counts x all DVFS levels (96
+// configurations on Xeon, 80 on ARM), or a reduced grid in fast mode.
+func (r *Runner) validationGrid(prof *machine.Profile) []machine.Config {
+	nodes := []int{1, 2, 4, 8}
+	cores := make([]int, 0, prof.CoresPerNode)
+	for c := 1; c <= prof.CoresPerNode; c++ {
+		cores = append(cores, c)
+	}
+	freqs := prof.Frequencies
+	if r.cfg.Fast {
+		nodes = []int{1, 2}
+		cores = []int{1, prof.CoresPerNode}
+		freqs = []float64{prof.FMin(), prof.FMax()}
+	}
+	var cfgs []machine.Config
+	for _, n := range nodes {
+		for _, c := range cores {
+			for _, f := range freqs {
+				cfgs = append(cfgs, machine.Config{Nodes: n, Cores: c, Freq: f})
+			}
+		}
+	}
+	return cfgs
+}
+
+// figureGrid returns the (n,c) panel grid of Figures 5 and 6 at fmax.
+func (r *Runner) figureGrid(prof *machine.Profile) []machine.Config {
+	nodes := []int{2, 4, 8}
+	var cores []int
+	switch prof.CoresPerNode {
+	case 8:
+		cores = []int{1, 4, 8}
+	default:
+		cores = []int{1, prof.CoresPerNode / 2, prof.CoresPerNode}
+	}
+	if r.cfg.Fast {
+		nodes = []int{2}
+	}
+	var cfgs []machine.Config
+	for _, n := range nodes {
+		for _, c := range cores {
+			cfgs = append(cfgs, machine.Config{Nodes: n, Cores: c, Freq: prof.FMax()})
+		}
+	}
+	return cfgs
+}
+
+// renderValidation renders one measured-vs-predicted panel.
+func renderValidation(title, unit string, cfgs []machine.Config, meas, pred []float64) string {
+	labels := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		labels[i] = fmt.Sprintf("(%d,%d)", c.Nodes, c.Cores)
+	}
+	values := map[string][]float64{"Measured": meas, "Predicted": pred}
+	errs := stats.SummarizeErrors(pred, meas)
+	return textplot.BarGroup(title, unit, labels, []string{"Measured", "Predicted"}, values, 44) +
+		fmt.Sprintf("mean |error| = %.1f%% (std %.1f%%, max %.1f%%)\n", errs.Mean, errs.StdDev, errs.Max)
+}
+
+// validationFigure builds a Fig-5/6 style artifact for the given panels.
+func (r *Runner) validationFigure(id, title, quantity string, panels []struct {
+	prof *machine.Profile
+	spec *workload.Spec
+}) (*Artifact, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: measured (simulated cluster) vs model-predicted, fmax\n\n", title)
+	for _, p := range panels {
+		cfgs := r.figureGrid(p.prof)
+		s, err := r.validate(p.prof, p.spec, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		var meas, pred []float64
+		unit := "s"
+		if quantity == "energy" {
+			unit = "kJ"
+			for i := range s.measE {
+				meas = append(meas, s.measE[i]/1e3)
+				pred = append(pred, s.predE[i]/1e3)
+			}
+		} else {
+			meas, pred = s.measT, s.predT
+		}
+		b.WriteString(renderValidation(
+			fmt.Sprintf("%s — %s", p.prof.Name, p.spec.Name), unit, cfgs, meas, pred))
+		b.WriteString("\n")
+	}
+	return &Artifact{ID: id, Title: title, Text: b.String()}, nil
+}
+
+// Fig5 regenerates the execution-time validation panels (worst-case
+// programs per cluster, as the paper plots: BT and SP on Xeon, LB and CP
+// on ARM).
+func (r *Runner) Fig5() (*Artifact, error) {
+	return r.validationFigure("fig5", "Figure 5: Execution time validation", "time",
+		[]struct {
+			prof *machine.Profile
+			spec *workload.Spec
+		}{
+			{machine.XeonE5(), workload.BT()},
+			{machine.XeonE5(), workload.SP()},
+			{machine.ARMCortexA9(), workload.LB()},
+			{machine.ARMCortexA9(), workload.CP()},
+		})
+}
+
+// Fig6 regenerates the energy validation panels (LB and BT on Xeon, LB
+// and CP on ARM).
+func (r *Runner) Fig6() (*Artifact, error) {
+	return r.validationFigure("fig6", "Figure 6: Energy validation", "energy",
+		[]struct {
+			prof *machine.Profile
+			spec *workload.Spec
+		}{
+			{machine.XeonE5(), workload.LB()},
+			{machine.XeonE5(), workload.BT()},
+			{machine.ARMCortexA9(), workload.LB()},
+			{machine.ARMCortexA9(), workload.CP()},
+		})
+}
+
+// Fig7 regenerates the scale-out validation: LU with the class C input
+// (4x the validation class, 16x the baseline) across 16 Xeon (n,c)
+// configurations at fmax, for both execution time and energy.
+func (r *Runner) Fig7() (*Artifact, error) {
+	prof := machine.XeonE5()
+	spec := workload.LU()
+	_, model, err := r.characterization(prof, spec)
+	if err != nil {
+		return nil, err
+	}
+	class := workload.ClassC
+	if r.cfg.Fast {
+		class = workload.ClassA
+	}
+	S, err := spec.Iterations(class)
+	if err != nil {
+		return nil, err
+	}
+	nodes := []int{1, 2, 4, 8}
+	cores := []int{1, 2, 4, 8}
+	if r.cfg.Fast {
+		nodes = []int{1, 2}
+		cores = []int{1, 8}
+	}
+	var cfgs []machine.Config
+	for _, n := range nodes {
+		for _, c := range cores {
+			cfgs = append(cfgs, machine.Config{Nodes: n, Cores: c, Freq: prof.FMax()})
+		}
+	}
+	results, err := r.measure(prof, spec, class, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var measT, predT, measE, predE []float64
+	for i, cfg := range cfgs {
+		pred, err := model.Predict(cfg, S)
+		if err != nil {
+			return nil, err
+		}
+		measT = append(measT, results[i].Time)
+		predT = append(predT, pred.T)
+		measE = append(measE, results[i].MeasuredEnergy/1e3)
+		predE = append(predE, pred.E/1e3)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Scale-out program LU, class %s input (%d iterations), %s at fmax\n\n", class, S, prof.Name)
+	b.WriteString(renderValidation("Execution time", "s", cfgs, measT, predT))
+	b.WriteString("\n")
+	b.WriteString(renderValidation("Energy", "kJ", cfgs, measE, predE))
+	return &Artifact{ID: "fig7", Title: "Figure 7: Scale-out program LU", Text: b.String()}, nil
+}
+
+// Table2 regenerates the cluster validation summary: mean and standard
+// deviation of the execution-time and energy prediction error over the
+// full validation grid, per program and per system.
+func (r *Runner) Table2() (*Artifact, error) {
+	systems := []*machine.Profile{machine.XeonE5(), machine.ARMCortexA9()}
+	var rows [][]string
+	var worst float64
+	counts := make(map[string]int)
+	for _, spec := range workload.Programs() {
+		row := []string{spec.Domain, spec.Suite, spec.Name}
+		summaries := make([]stats.ErrorSummary, 0, 4)
+		for _, quantity := range []string{"time", "energy"} {
+			for _, prof := range systems {
+				s, err := r.validate(prof, spec, r.validationGrid(prof))
+				if err != nil {
+					return nil, err
+				}
+				var es stats.ErrorSummary
+				if quantity == "time" {
+					es = stats.SummarizeErrors(s.predT, s.measT)
+				} else {
+					es = stats.SummarizeErrors(s.predE, s.measE)
+				}
+				summaries = append(summaries, es)
+				counts[prof.Name] = es.N
+			}
+		}
+		for _, es := range summaries {
+			row = append(row, fmt.Sprintf("%.0f", es.Mean), fmt.Sprintf("%.0f", es.StdDev))
+			if es.Mean > worst {
+				worst = es.Mean
+			}
+		}
+		rows = append(rows, row)
+	}
+	headers := []string{"Domain", "Suite", "Prog",
+		"T-Xeon mean%", "std", "T-ARM mean%", "std",
+		"E-Xeon mean%", "std", "E-ARM mean%", "std"}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster validation results over the full configuration grid\n")
+	fmt.Fprintf(&b, "(%d Xeon + %d ARM configurations per program; paper: 96 Xeon, 80 ARM)\n\n",
+		counts[machine.XeonE5().Name], counts[machine.ARMCortexA9().Name])
+	b.WriteString(textplot.Table(headers, rows))
+	fmt.Fprintf(&b, "\nWorst per-cell mean error: %.1f%% (paper reports all cells <= 15%%)\n", worst)
+	return &Artifact{ID: "table2", Title: "Table 2: Cluster validation results", Text: b.String()}, nil
+}

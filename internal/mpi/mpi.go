@@ -1,0 +1,255 @@
+// Package mpi implements a message-passing runtime in simulated time: one
+// rank per node, eager non-blocking sends routed through the shared switch
+// (internal/simnet), cumulative-count receives, a recursive-doubling
+// allreduce and a small-message barrier. It is the substrate standing in
+// for the MPI-over-TCP stack of the paper's clusters.
+//
+// The runtime doubles as the paper's mpiP profiler: every rank's message
+// count and volume are accounted, so the workload characterisation can
+// extract the communication parameters η (messages per process) and ν
+// (bytes per message) without instrumenting programs.
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"hybridperf/internal/des"
+	"hybridperf/internal/node"
+	"hybridperf/internal/simnet"
+)
+
+// Tag separates message classes so that cumulative-count matching of halo
+// traffic can never be confused by collective traffic racing ahead.
+type Tag int
+
+const (
+	TagHalo    Tag = iota // point-to-point halo exchange
+	TagReduce             // allreduce / barrier rounds
+	TagAll2All            // all-to-all exchange steps
+	numTags
+)
+
+// World is an MPI communicator spanning one rank per node.
+type World struct {
+	k     *des.Kernel
+	net   simnet.Network
+	ranks []*Rank
+}
+
+// Rank is one logical MPI process, pinned to its node's core 0 (the master
+// thread performs all communication, the common hybrid-program structure).
+type Rank struct {
+	w    *World
+	id   int
+	node *node.Node
+
+	received  [numTags]int
+	cond      [numTags]des.Cond
+	reduceOps int                  // completed Allreduce/Barrier operations
+	a2aOps    int                  // completed Alltoall operations
+	seqRecv   [numTags]map[int]int // per-round receipts for collective rounds
+
+	// mpiP-style accounting.
+	sentMsgs  int
+	sentBytes float64
+	waitTime  float64
+}
+
+// NewWorld creates a communicator over the given nodes (rank i ↔ nodes[i]).
+func NewWorld(k *des.Kernel, net simnet.Network, nodes []*node.Node) *World {
+	w := &World{k: k, net: net}
+	for i, nd := range nodes {
+		r := &Rank{w: w, id: i, node: nd}
+		for t := range r.seqRecv {
+			r.seqRecv[t] = make(map[int]int)
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i's handle.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// ID returns the rank's index in the world.
+func (r *Rank) ID() int { return r.id }
+
+// Node returns the node this rank runs on.
+func (r *Rank) Node() *node.Node { return r.node }
+
+// World returns the communicator the rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+// Isend posts a non-blocking send of `bytes` to rank `to`. The message
+// queues at the switch (FCFS single server) and is delivered to the
+// destination's cumulative receive count for the tag. The sender's NIC is
+// active until the transfer completes; the sending process does not block.
+func (r *Rank) Isend(to int, bytes float64, tag Tag) { r.isend(to, bytes, tag, -1) }
+
+// isend is Isend with an optional collective-round sequence number
+// (seq >= 0) that the destination can match on exactly.
+func (r *Rank) isend(to int, bytes float64, tag Tag, seq int) {
+	if to < 0 || to >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d (world size %d)", to, r.w.Size()))
+	}
+	r.sentMsgs++
+	r.sentBytes += bytes
+	if to == r.id {
+		// Self-delivery is immediate: shared memory, no switch transit.
+		r.deliver(tag, seq)
+		return
+	}
+	r.node.NetRef(1)
+	src, dst := r, r.w.ranks[to]
+	r.w.k.Spawn(fmt.Sprintf("msg r%d->r%d", r.id, to), func(mp *des.Proc) {
+		r.w.net.Transfer(mp, src.id, dst.id, bytes)
+		src.node.NetRef(-1)
+		dst.deliver(tag, seq)
+	})
+}
+
+// deliver records a message arrival and wakes waiters.
+func (r *Rank) deliver(tag Tag, seq int) {
+	r.received[tag]++
+	if seq >= 0 {
+		r.seqRecv[tag][seq]++
+	}
+	r.cond[tag].Broadcast()
+}
+
+// WaitCount blocks the rank's master process p until the cumulative number
+// of messages received with the given tag reaches target. Blocked time is
+// accounted as network wait on core 0 and keeps the NIC active.
+func (r *Rank) WaitCount(p *des.Proc, tag Tag, target int) {
+	if r.received[tag] >= target {
+		return
+	}
+	start := p.Now()
+	r.node.NetRef(1)
+	r.node.NetWait(0, func() {
+		for r.received[tag] < target {
+			r.cond[tag].Wait(p)
+		}
+	})
+	r.node.NetRef(-1)
+	r.waitTime += p.Now() - start
+}
+
+// Received reports the cumulative receive count for a tag.
+func (r *Rank) Received(tag Tag) int { return r.received[tag] }
+
+// ReduceRounds returns the number of communication rounds (and thus
+// messages per rank) of an allreduce over n ranks: ceil(log2 n).
+func ReduceRounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// Allreduce performs a ring-hypercube allreduce of `bytes` per message:
+// ceil(log2 n) rounds in which every rank sends to (id+2^k) mod n and
+// waits for one message — a permutation each round, so it cannot deadlock
+// for any world size. p must be the calling rank's master process.
+//
+// Each round is matched exactly by a sequence number (operation x round):
+// the round-k wait is satisfied only by the round-k message from
+// (id-2^k) mod n, which that rank sends only after completing its own
+// round k-1 — the dissemination-barrier dependency chain that makes the
+// operation a true global synchronisation for any world size. Every rank
+// must execute the same collective sequence (SPMD), as in MPI.
+func (r *Rank) Allreduce(p *des.Proc, bytes float64) {
+	n := r.w.Size()
+	if n == 1 {
+		return
+	}
+	rounds := ReduceRounds(n)
+	op := r.reduceOps
+	r.reduceOps++
+	for k := 0; k < rounds; k++ {
+		partner := (r.id + (1 << k)) % n
+		seq := op*rounds + k
+		r.isend(partner, bytes, TagReduce, seq)
+		r.waitSeq(p, TagReduce, seq)
+	}
+}
+
+// waitSeq blocks until one message with the given collective sequence
+// number has arrived on the tag, with the same NIC/idle accounting as
+// WaitCount.
+func (r *Rank) waitSeq(p *des.Proc, tag Tag, seq int) {
+	if r.seqRecv[tag][seq] >= 1 {
+		return
+	}
+	start := p.Now()
+	r.node.NetRef(1)
+	r.node.NetWait(0, func() {
+		for r.seqRecv[tag][seq] < 1 {
+			r.cond[tag].Wait(p)
+		}
+	})
+	r.node.NetRef(-1)
+	r.waitTime += p.Now() - start
+}
+
+// Barrier synchronises all ranks using an 8-byte allreduce, which is how
+// MPI_Barrier costs out on an Ethernet cluster (latency-bound rounds).
+func (r *Rank) Barrier(p *des.Proc) { r.Allreduce(p, 8) }
+
+// Alltoall performs a personalised all-to-all exchange: every rank sends
+// `bytes` to each of the other n-1 ranks and waits for the n-1 messages
+// addressed to it, using a rotation schedule (step k sends to (id+k) mod
+// n, a permutation per step). Rank id's step-k receipt comes from
+// (id-k) mod n and is matched exactly by an (operation, step) sequence
+// number. All n-1 sends are posted eagerly before waiting, so the exchange
+// pipelines through the switch. Like Allreduce it is a synchronising
+// collective; every rank must call it the same number of times (SPMD).
+func (r *Rank) Alltoall(p *des.Proc, bytes float64) {
+	n := r.w.Size()
+	if n == 1 {
+		return
+	}
+	base := r.a2aOps * (n - 1)
+	r.a2aOps++
+	for step := 1; step < n; step++ {
+		dst := (r.id + step) % n
+		r.isend(dst, bytes, TagAll2All, base+step-1)
+	}
+	for step := 1; step < n; step++ {
+		r.waitSeq(p, TagAll2All, base+step-1)
+	}
+}
+
+// Profile is the mpiP-style communication summary of a run.
+type Profile struct {
+	Ranks        int
+	TotalMsgs    int     // messages sent, summed over ranks
+	TotalBytes   float64 // bytes sent, summed over ranks
+	MsgsPerRank  float64 // η: mean messages per process
+	BytesPerMsg  float64 // ν: mean message volume [B]
+	MeanWaitTime float64 // mean per-rank blocked-in-MPI time [s]
+	SwitchStats  des.ResourceStats
+}
+
+// Profile extracts the communication profile accumulated so far.
+func (w *World) Profile() Profile {
+	p := Profile{Ranks: w.Size(), SwitchStats: w.net.Stats()}
+	var wait float64
+	for _, r := range w.ranks {
+		p.TotalMsgs += r.sentMsgs
+		p.TotalBytes += r.sentBytes
+		wait += r.waitTime
+	}
+	if p.Ranks > 0 {
+		p.MsgsPerRank = float64(p.TotalMsgs) / float64(p.Ranks)
+		p.MeanWaitTime = wait / float64(p.Ranks)
+	}
+	if p.TotalMsgs > 0 {
+		p.BytesPerMsg = p.TotalBytes / float64(p.TotalMsgs)
+	}
+	return p
+}

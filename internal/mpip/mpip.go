@@ -1,0 +1,48 @@
+// Package mpip distils a run's raw MPI accounting into the communication
+// characteristics the paper extracts with the mpiP profiler (Sec. III.E.1):
+// the number of messages per process (η), the volume per message (ν) and
+// the fraction of runtime blocked in MPI.
+package mpip
+
+import (
+	"fmt"
+
+	"hybridperf/internal/mpi"
+)
+
+// Report is the per-program communication profile.
+type Report struct {
+	Ranks              int
+	Iters              int
+	MsgsPerRank        float64 // η over the whole run
+	MsgsPerRankPerIter float64 // η per iteration
+	BytesPerMsg        float64 // ν [B]
+	TotalBytes         float64 // cluster-wide volume [B]
+	MPITimeFrac        float64 // mean fraction of runtime blocked in MPI
+}
+
+// FromRun builds a report from a run's MPI profile, its iteration count
+// and wall-clock time.
+func FromRun(p mpi.Profile, iters int, runtime float64) (Report, error) {
+	if iters < 1 {
+		return Report{}, fmt.Errorf("mpip: iters must be >= 1")
+	}
+	r := Report{
+		Ranks:       p.Ranks,
+		Iters:       iters,
+		MsgsPerRank: p.MsgsPerRank,
+		BytesPerMsg: p.BytesPerMsg,
+		TotalBytes:  p.TotalBytes,
+	}
+	r.MsgsPerRankPerIter = p.MsgsPerRank / float64(iters)
+	if runtime > 0 {
+		r.MPITimeFrac = p.MeanWaitTime / runtime
+	}
+	return r, nil
+}
+
+// String renders the report in mpiP's concise summary style.
+func (r Report) String() string {
+	return fmt.Sprintf("mpiP: ranks=%d msgs/rank=%.0f (%.2f/iter) bytes/msg=%.0f total=%.3g MB mpi-time=%.1f%%",
+		r.Ranks, r.MsgsPerRank, r.MsgsPerRankPerIter, r.BytesPerMsg, r.TotalBytes/1e6, r.MPITimeFrac*100)
+}

@@ -1,0 +1,53 @@
+package mpip
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hybridperf/internal/mpi"
+)
+
+func TestFromRun(t *testing.T) {
+	p := mpi.Profile{
+		Ranks:        4,
+		TotalMsgs:    800,
+		TotalBytes:   8e6,
+		MsgsPerRank:  200,
+		BytesPerMsg:  1e4,
+		MeanWaitTime: 5,
+	}
+	r, err := FromRun(p, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MsgsPerRankPerIter != 4 {
+		t.Errorf("eta/iter = %g, want 4", r.MsgsPerRankPerIter)
+	}
+	if math.Abs(r.MPITimeFrac-0.05) > 1e-12 {
+		t.Errorf("MPI time fraction = %g, want 0.05", r.MPITimeFrac)
+	}
+	if r.BytesPerMsg != 1e4 {
+		t.Errorf("nu = %g", r.BytesPerMsg)
+	}
+	s := r.String()
+	for _, want := range []string{"ranks=4", "msgs/rank=200", "bytes/msg=10000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFromRunValidation(t *testing.T) {
+	if _, err := FromRun(mpi.Profile{}, 0, 1); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	// Zero runtime: fraction stays 0 rather than dividing by zero.
+	r, err := FromRun(mpi.Profile{Ranks: 1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MPITimeFrac != 0 {
+		t.Fatalf("MPITimeFrac = %g with zero runtime", r.MPITimeFrac)
+	}
+}

@@ -1,0 +1,239 @@
+// Package node simulates one cluster node: c active cores at a fixed DVFS
+// frequency, a UMA memory controller shared by the cores (a FCFS
+// single-server queue, so intra-node memory contention emerges from
+// queueing exactly as the paper's stall-cycle measurements capture it),
+// a NIC activity flag, and a power integrator that plays the role of the
+// WattsUp meter: node power is integrated over per-component activity
+// states, split into the CPU/memory/network/idle components of Eqs (8-12).
+package node
+
+import (
+	"fmt"
+
+	"hybridperf/internal/counters"
+	"hybridperf/internal/des"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/rng"
+)
+
+// CoreState is a core's instantaneous activity class for power accounting.
+type CoreState int
+
+const (
+	Idle  CoreState = iota // not executing (waiting on network, parked)
+	Act                    // executing work or pipeline-stalled: active power
+	Stall                  // stalled on memory: stall power
+)
+
+// Node is one simulated cluster node.
+type Node struct {
+	ID   int
+	prof *machine.Profile
+	k    *des.Kernel
+	freq float64 // Hz
+
+	memctl *des.Resource
+	states []CoreState
+	Ctrs   []counters.Core
+
+	jitter *rng.Stream
+
+	// Power integration.
+	lastT  float64
+	nAct   int
+	nStall int
+	netRef int
+	energy EnergyBreakdown
+}
+
+// EnergyBreakdown is the per-node energy split mirroring Eqs (8)-(12).
+type EnergyBreakdown struct {
+	CPU  float64 // J: active + stall core energy (Eq. 9)
+	Mem  float64 // J: memory subsystem while servicing stalls (Eq. 10)
+	Net  float64 // J: NIC while communication is in flight (Eq. 11)
+	Idle float64 // J: baseline system power over the whole run (Eq. 12)
+}
+
+// Total returns the node's total energy in joules.
+func (e EnergyBreakdown) Total() float64 { return e.CPU + e.Mem + e.Net + e.Idle }
+
+// Add accumulates another breakdown (for cluster totals).
+func (e *EnergyBreakdown) Add(o EnergyBreakdown) {
+	e.CPU += o.CPU
+	e.Mem += o.Mem
+	e.Net += o.Net
+	e.Idle += o.Idle
+}
+
+// New creates a node with the given number of active cores running at
+// frequency f. jitter is the node's OS-noise stream (may be nil for
+// noise-free runs, e.g. micro-benchmarks).
+func New(k *des.Kernel, prof *machine.Profile, id, cores int, f float64, jitter *rng.Stream) *Node {
+	if cores < 1 || cores > prof.CoresPerNode {
+		panic(fmt.Sprintf("node: %d cores outside [1,%d]", cores, prof.CoresPerNode))
+	}
+	if !prof.HasFrequency(f) {
+		panic(fmt.Sprintf("node: %.2f GHz is not a DVFS level of %s", f/1e9, prof.Name))
+	}
+	return &Node{
+		ID:     id,
+		prof:   prof,
+		k:      k,
+		freq:   f,
+		memctl: des.NewResource(k, fmt.Sprintf("mem[%d]", id)),
+		states: make([]CoreState, cores),
+		Ctrs:   make([]counters.Core, cores),
+		jitter: jitter,
+	}
+}
+
+// Cores returns the number of active cores.
+func (n *Node) Cores() int { return len(n.states) }
+
+// Freq returns the current core frequency [Hz].
+func (n *Node) Freq() float64 { return n.freq }
+
+// SetFreq switches the node's DVFS level. It may only be called when every
+// core is idle (an iteration boundary — the granularity at which runtime
+// DVFS governors act); energy integration is brought up to date under the
+// old level first, so the power accounting stays exact across switches.
+func (n *Node) SetFreq(f float64) {
+	if f == n.freq {
+		return
+	}
+	if !n.prof.HasFrequency(f) {
+		panic(fmt.Sprintf("node: %.2f GHz is not a DVFS level of %s", f/1e9, n.prof.Name))
+	}
+	for core, st := range n.states {
+		if st != Idle {
+			panic(fmt.Sprintf("node: SetFreq with core %d active", core))
+		}
+	}
+	n.integrate()
+	n.freq = f
+}
+
+// Profile returns the node's hardware profile.
+func (n *Node) Profile() *machine.Profile { return n.prof }
+
+// integrate advances the power integrator to the current virtual time.
+func (n *Node) integrate() {
+	now := n.k.Now()
+	dt := now - n.lastT
+	if dt > 0 {
+		pAct := n.prof.PCoreAct.At(n.freq)
+		pStall := n.prof.PCoreStall(n.freq)
+		n.energy.CPU += (float64(n.nAct)*pAct + float64(n.nStall)*pStall) * dt
+		if n.nStall > 0 {
+			n.energy.Mem += n.prof.PMem * dt
+		}
+		if n.netRef > 0 {
+			n.energy.Net += n.prof.PNet * dt
+		}
+		n.energy.Idle += n.prof.PSysIdle * dt
+	}
+	n.lastT = now
+}
+
+// setState transitions a core's power state.
+func (n *Node) setState(core int, st CoreState) {
+	old := n.states[core]
+	if old == st {
+		return
+	}
+	n.integrate()
+	switch old {
+	case Act:
+		n.nAct--
+	case Stall:
+		n.nStall--
+	}
+	switch st {
+	case Act:
+		n.nAct++
+	case Stall:
+		n.nStall++
+	}
+	n.states[core] = st
+}
+
+// NetRef adjusts the node's count of in-flight communication activities
+// (posted sends not yet delivered, blocked receives). The NIC draws power
+// while the count is positive.
+func (n *Node) NetRef(delta int) {
+	n.integrate()
+	n.netRef += delta
+	if n.netRef < 0 {
+		panic("node: negative NIC refcount")
+	}
+}
+
+// Energy finalises power integration at the current time and returns the
+// node's energy breakdown.
+func (n *Node) Energy() EnergyBreakdown {
+	n.integrate()
+	return n.energy
+}
+
+// Compute executes `units` abstract work units on the given core: the core
+// runs in the active state for the ISA-dependent cycle count, inflated by
+// the program/ISA pipeline-stall fraction bFrac and (if a jitter stream is
+// attached) by OS noise. Work and non-memory stall cycles are counted
+// separately, as a hardware counter would report them.
+func (n *Node) Compute(p *des.Proc, core int, units, bFrac float64) {
+	if units <= 0 {
+		return
+	}
+	j := 1.0
+	if n.jitter != nil {
+		j = n.jitter.Jitter(n.prof.OSJitter)
+	}
+	workT := units * n.prof.CyclesPerWork / n.freq * j
+	bT := workT * bFrac * n.prof.BaseStallFrac
+	n.setState(core, Act)
+	p.Advance(workT + bT)
+	c := &n.Ctrs[core]
+	c.WorkTime += workT
+	c.BStallTime += bT
+	c.Instructions += units * j
+	n.setState(core, Idle)
+}
+
+// MemAccess stalls the given core on a memory burst of the given DRAM
+// traffic (bytes, already scaled by the profile's MemTrafficFactor). The
+// burst has a private portion — the core alone cannot saturate the
+// controller — and a shared portion serialised at the node's memory
+// controller, where queueing against the other cores produces the
+// contention-driven stall growth the model's ms(c,f) input captures.
+func (n *Node) MemAccess(p *des.Proc, core int, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	n.setState(core, Stall)
+	private := bytes*(1/n.prof.MemCoreBandwidth-1/n.prof.MemBandwidth) + n.prof.MemFixedLat
+	if private > 0 {
+		p.Advance(private)
+	}
+	shared := bytes / n.prof.MemBandwidth
+	wait := n.memctl.Serve(p, shared)
+	n.Ctrs[core].MemStallTime += private + wait + shared
+	n.setState(core, Idle)
+}
+
+// NetWait blocks the core-owning process in fn (typically a Recv) and
+// accounts the elapsed time as network wait on that core. The core is idle
+// for power purposes; the NIC reference is held by the caller.
+func (n *Node) NetWait(core int, fn func()) {
+	start := n.k.Now()
+	n.setState(core, Idle)
+	fn()
+	n.Ctrs[core].NetWaitTime += n.k.Now() - start
+}
+
+// MemStats exposes the memory controller's queueing statistics.
+func (n *Node) MemStats() des.ResourceStats { return n.memctl.Stats() }
+
+// Totals aggregates the node's core counters at the run frequency.
+func (n *Node) Totals(elapsed float64) counters.Totals {
+	return counters.Aggregate(n.Ctrs, n.freq, elapsed)
+}

@@ -1,0 +1,74 @@
+// Package omp implements the shared-memory half of the hybrid programming
+// model in simulated time: fork-join parallel regions whose threads are
+// pinned one-per-core on a simulated node. Threads interleave compute
+// bursts with memory accesses; contention for the node's UMA memory
+// controller is what turns parallelism into the stall cycles the paper's
+// model measures as ms.
+package omp
+
+import (
+	"fmt"
+
+	"hybridperf/internal/des"
+	"hybridperf/internal/node"
+)
+
+// Team executes parallel regions on a node, one thread per active core.
+// The master thread (tid 0) runs on the calling process, mirroring the
+// OpenMP execution model where the MPI process's main thread becomes
+// thread 0 of each region.
+type Team struct {
+	k    *des.Kernel
+	node *node.Node
+}
+
+// NewTeam creates a team covering all active cores of nd.
+func NewTeam(k *des.Kernel, nd *node.Node) *Team {
+	return &Team{k: k, node: nd}
+}
+
+// Node returns the node the team runs on.
+func (t *Team) Node() *node.Node { return t.node }
+
+// Size returns the team's thread count (the node's active cores).
+func (t *Team) Size() int { return t.node.Cores() }
+
+// Thread is the per-thread execution context inside a parallel region.
+type Thread struct {
+	P    *des.Proc // the simulated process driving this thread
+	ID   int       // thread id == core id
+	team *Team
+}
+
+// Compute executes work units on this thread's core (active power state,
+// pipeline stalls and OS jitter applied by the node).
+func (th *Thread) Compute(units, bFrac float64) {
+	th.team.node.Compute(th.P, th.ID, units, bFrac)
+}
+
+// MemAccess stalls this thread on a DRAM burst of the given traffic.
+func (th *Thread) MemAccess(bytes float64) {
+	th.team.node.MemAccess(th.P, th.ID, bytes)
+}
+
+// Parallel runs body once per thread (an `omp parallel` region) and blocks
+// the master process until every thread has finished — the region's
+// implicit barrier. Worker threads are fresh simulated processes; the
+// master runs body inline as tid 0.
+func (t *Team) Parallel(p *des.Proc, body func(th *Thread)) {
+	n := t.Size()
+	done := 0
+	var join des.Cond
+	for tid := 1; tid < n; tid++ {
+		tid := tid
+		t.k.Spawn(fmt.Sprintf("%s.t%d", p.Name(), tid), func(wp *des.Proc) {
+			body(&Thread{P: wp, ID: tid, team: t})
+			done++
+			join.Broadcast()
+		})
+	}
+	body(&Thread{P: p, ID: 0, team: t})
+	for done < n-1 {
+		join.Wait(p)
+	}
+}

@@ -1,0 +1,144 @@
+package omp
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"hybridperf/internal/des"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/node"
+)
+
+func team(k *des.Kernel, cores int) *Team {
+	prof := machine.XeonE5()
+	return NewTeam(k, node.New(k, prof, 0, cores, prof.FMax(), nil))
+}
+
+func run(t *testing.T, k *des.Kernel) {
+	t.Helper()
+	if err := k.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelRunsEveryThread(t *testing.T) {
+	k := des.NewKernel()
+	tm := team(k, 4)
+	var tids []int
+	k.Spawn("master", func(p *des.Proc) {
+		tm.Parallel(p, func(th *Thread) {
+			tids = append(tids, th.ID)
+		})
+	})
+	run(t, k)
+	sort.Ints(tids)
+	if len(tids) != 4 {
+		t.Fatalf("ran %d threads, want 4", len(tids))
+	}
+	for i, tid := range tids {
+		if tid != i {
+			t.Fatalf("thread ids %v, want 0..3", tids)
+		}
+	}
+}
+
+func TestParallelImplicitBarrier(t *testing.T) {
+	k := des.NewKernel()
+	tm := team(k, 4)
+	f := machine.XeonE5().FMax()
+	var joined float64
+	k.Spawn("master", func(p *des.Proc) {
+		tm.Parallel(p, func(th *Thread) {
+			// Thread i computes i+1 seconds of work.
+			th.Compute(f*float64(th.ID+1), 0)
+		})
+		joined = p.Now()
+	})
+	run(t, k)
+	if math.Abs(joined-4) > 1e-9 {
+		t.Fatalf("region joined at %g, want 4 (slowest thread)", joined)
+	}
+}
+
+func TestMasterIsThreadZero(t *testing.T) {
+	k := des.NewKernel()
+	tm := team(k, 3)
+	var masterTid = -1
+	k.Spawn("master", func(p *des.Proc) {
+		tm.Parallel(p, func(th *Thread) {
+			if th.P == p {
+				masterTid = th.ID
+			}
+		})
+	})
+	run(t, k)
+	if masterTid != 0 {
+		t.Fatalf("master ran as tid %d, want 0", masterTid)
+	}
+}
+
+func TestSingleThreadTeam(t *testing.T) {
+	k := des.NewKernel()
+	tm := team(k, 1)
+	ran := 0
+	k.Spawn("master", func(p *des.Proc) {
+		tm.Parallel(p, func(th *Thread) { ran++ })
+	})
+	run(t, k)
+	if ran != 1 {
+		t.Fatalf("single-thread region ran %d times", ran)
+	}
+}
+
+func TestSuccessiveRegions(t *testing.T) {
+	k := des.NewKernel()
+	tm := team(k, 2)
+	f := machine.XeonE5().FMax()
+	var times []float64
+	k.Spawn("master", func(p *des.Proc) {
+		for r := 0; r < 3; r++ {
+			tm.Parallel(p, func(th *Thread) { th.Compute(f, 0) })
+			times = append(times, p.Now())
+		}
+	})
+	run(t, k)
+	for i, want := range []float64{1, 2, 3} {
+		if math.Abs(times[i]-want) > 1e-9 {
+			t.Fatalf("region %d ended at %g, want %g", i, times[i], want)
+		}
+	}
+}
+
+func TestThreadsContendForMemory(t *testing.T) {
+	k := des.NewKernel()
+	tm := team(k, 8)
+	var total float64
+	k.Spawn("master", func(p *des.Proc) {
+		tm.Parallel(p, func(th *Thread) {
+			th.MemAccess(256e6)
+		})
+		for _, c := range tm.Node().Ctrs {
+			total += c.MemStallTime
+		}
+	})
+	run(t, k)
+	// Eight simultaneous bursts through one controller must stall, in
+	// aggregate, well beyond eight uncontended accesses.
+	prof := machine.XeonE5()
+	uncontended := 8 * (256e6/prof.MemCoreBandwidth + prof.MemFixedLat)
+	if total < uncontended*1.5 {
+		t.Fatalf("aggregate stall %g shows no contention (uncontended %g)", total, uncontended)
+	}
+}
+
+func TestTeamAccessors(t *testing.T) {
+	k := des.NewKernel()
+	tm := team(k, 5)
+	if tm.Size() != 5 {
+		t.Fatalf("Size = %d", tm.Size())
+	}
+	if tm.Node() == nil {
+		t.Fatal("Node() nil")
+	}
+}

@@ -1,0 +1,178 @@
+// Package pareto explores the configuration space of a hybrid program and
+// extracts the time-energy Pareto-optimal configurations of Sec. V.A:
+// points that consume minimum energy for a given execution-time deadline,
+// or execute in minimum time for a given energy budget.
+package pareto
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridperf/internal/core"
+	"hybridperf/internal/machine"
+)
+
+// Point pairs a configuration with its model prediction.
+type Point struct {
+	Cfg  machine.Config
+	Pred core.Prediction
+}
+
+// PowersOfTwo returns [1, 2, 4, ..., max] (max rounded down to a power of
+// two), the node counts of the paper's Figure 8 sweep.
+func PowersOfTwo(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Range returns [lo, lo+1, ..., hi], the node counts of Figure 9's sweep.
+func Range(lo, hi int) []int {
+	if hi < lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for n := lo; n <= hi; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Space enumerates the full configuration cross product.
+func Space(nodes []int, maxCores int, freqs []float64) []machine.Config {
+	var out []machine.Config
+	for _, n := range nodes {
+		for c := 1; c <= maxCores; c++ {
+			for _, f := range freqs {
+				out = append(out, machine.Config{Nodes: n, Cores: c, Freq: f})
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate predicts every configuration in the space for a target input of
+// S iterations.
+func Evaluate(m *core.Model, cfgs []machine.Config, S int) ([]Point, error) {
+	pts := make([]Point, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		pred, err := m.Predict(cfg, S)
+		if err != nil {
+			return nil, fmt.Errorf("pareto: %v: %w", cfg, err)
+		}
+		pts = append(pts, Point{Cfg: cfg, Pred: pred})
+	}
+	return pts, nil
+}
+
+// Dominates reports whether a is at least as good as b on both objectives
+// and strictly better on at least one (minimising time and energy).
+func Dominates(a, b core.Prediction) bool {
+	if a.T > b.T || a.E > b.E {
+		return false
+	}
+	return a.T < b.T || a.E < b.E
+}
+
+// Frontier returns the Pareto-optimal subset of points, sorted by
+// increasing execution time (and thus decreasing energy). Duplicate
+// objective values keep a single representative.
+func Frontier(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Pred.T != sorted[j].Pred.T {
+			return sorted[i].Pred.T < sorted[j].Pred.T
+		}
+		return sorted[i].Pred.E < sorted[j].Pred.E
+	})
+	var front []Point
+	bestE := 0.0
+	for _, p := range sorted {
+		if len(front) == 0 || p.Pred.E < bestE {
+			front = append(front, p)
+			bestE = p.Pred.E
+		}
+	}
+	return front
+}
+
+// MinEnergyWithinDeadline returns the point meeting the execution-time
+// deadline with minimum energy — the paper's primary query. ok is false
+// when no configuration meets the deadline.
+func MinEnergyWithinDeadline(points []Point, deadline float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range points {
+		if p.Pred.T > deadline {
+			continue
+		}
+		if !found || p.Pred.E < best.Pred.E ||
+			(p.Pred.E == best.Pred.E && p.Pred.T < best.Pred.T) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MinTimeWithinBudget returns the fastest point whose energy fits the
+// budget — the dual query. ok is false when no configuration fits.
+func MinTimeWithinBudget(points []Point, budget float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range points {
+		if p.Pred.E > budget {
+			continue
+		}
+		if !found || p.Pred.T < best.Pred.T ||
+			(p.Pred.T == best.Pred.T && p.Pred.E < best.Pred.E) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MinEDP returns the point minimising the energy-delay product E*T — a
+// deadline-free way to pick a single operating point off the frontier.
+// ok is false for an empty point set.
+func MinEDP(points []Point) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range points {
+		if !found || p.Pred.EDP() < best.Pred.EDP() {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MinED2P returns the point minimising E*T², weighing performance more
+// heavily than MinEDP.
+func MinED2P(points []Point) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range points {
+		if !found || p.Pred.ED2P() < best.Pred.ED2P() {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// OnFrontier reports whether cfg appears in the frontier point list.
+func OnFrontier(front []Point, cfg machine.Config) bool {
+	for _, p := range front {
+		if p.Cfg == cfg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,284 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridperf/internal/core"
+	"hybridperf/internal/machine"
+)
+
+func mkPoints(te [][2]float64) []Point {
+	pts := make([]Point, len(te))
+	for i, v := range te {
+		pts[i] = Point{
+			Cfg:  machine.Config{Nodes: i + 1, Cores: 1, Freq: 1e9},
+			Pred: core.Prediction{T: v[0], E: v[1]},
+		}
+	}
+	return pts
+}
+
+func TestFrontierBasic(t *testing.T) {
+	pts := mkPoints([][2]float64{
+		{10, 5},  // frontier (slowest, cheapest)
+		{5, 8},   // frontier
+		{5, 9},   // dominated (same T, more E)
+		{2, 20},  // frontier (fastest)
+		{6, 30},  // dominated
+		{12, 50}, // dominated (slower and costlier than {10,5})
+	})
+	front := Frontier(pts)
+	if len(front) != 3 {
+		t.Fatalf("frontier size %d, want 3: %+v", len(front), front)
+	}
+	// Sorted by increasing T, strictly decreasing E.
+	for i := 1; i < len(front); i++ {
+		if front[i].Pred.T <= front[i-1].Pred.T {
+			t.Fatal("frontier not sorted by time")
+		}
+		if front[i].Pred.E >= front[i-1].Pred.E {
+			t.Fatal("frontier energies not strictly decreasing")
+		}
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	if Frontier(nil) != nil {
+		t.Fatal("empty frontier should be nil")
+	}
+}
+
+func TestFrontierSinglePoint(t *testing.T) {
+	front := Frontier(mkPoints([][2]float64{{1, 1}}))
+	if len(front) != 1 {
+		t.Fatalf("singleton frontier size %d", len(front))
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := core.Prediction{T: 1, E: 1}
+	b := core.Prediction{T: 2, E: 2}
+	eqA := core.Prediction{T: 1, E: 1}
+	if !Dominates(a, b) {
+		t.Error("a should dominate b")
+	}
+	if Dominates(b, a) {
+		t.Error("b should not dominate a")
+	}
+	if Dominates(a, eqA) {
+		t.Error("equal points do not dominate each other")
+	}
+	mixed := core.Prediction{T: 0.5, E: 5}
+	if Dominates(a, mixed) || Dominates(mixed, a) {
+		t.Error("trade-off points must be incomparable")
+	}
+}
+
+// TestFrontierMatchesBruteForce cross-checks the scan-line frontier
+// against an O(n^2) dominance filter on random point clouds.
+func TestFrontierMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(60)
+		var te [][2]float64
+		for i := 0; i < n; i++ {
+			te = append(te, [2]float64{
+				float64(1 + rng.Intn(30)),
+				float64(1 + rng.Intn(30)),
+			})
+		}
+		pts := mkPoints(te)
+		front := Frontier(pts)
+
+		inFront := func(p Point) bool {
+			for _, q := range front {
+				if q.Pred.T == p.Pred.T && q.Pred.E == p.Pred.E {
+					return true
+				}
+			}
+			return false
+		}
+		for _, p := range pts {
+			dominated := false
+			for _, q := range pts {
+				if Dominates(q.Pred, p.Pred) {
+					dominated = true
+					break
+				}
+			}
+			if dominated && inFront(p) {
+				t.Fatalf("trial %d: dominated point (%g,%g) on frontier", trial, p.Pred.T, p.Pred.E)
+			}
+			if !dominated && !inFront(p) {
+				t.Fatalf("trial %d: non-dominated point (%g,%g) missing (duplicates aside)", trial, p.Pred.T, p.Pred.E)
+			}
+		}
+	}
+}
+
+func TestMinEnergyWithinDeadline(t *testing.T) {
+	pts := mkPoints([][2]float64{{10, 5}, {5, 8}, {2, 20}})
+	p, ok := MinEnergyWithinDeadline(pts, 6)
+	if !ok || p.Pred.E != 8 {
+		t.Fatalf("deadline 6 -> %+v, want E=8", p.Pred)
+	}
+	p, ok = MinEnergyWithinDeadline(pts, 100)
+	if !ok || p.Pred.E != 5 {
+		t.Fatalf("deadline 100 -> %+v, want E=5", p.Pred)
+	}
+	if _, ok := MinEnergyWithinDeadline(pts, 1); ok {
+		t.Fatal("impossible deadline satisfied")
+	}
+	if _, ok := MinEnergyWithinDeadline(nil, 1); ok {
+		t.Fatal("empty point set satisfied")
+	}
+}
+
+func TestMinTimeWithinBudget(t *testing.T) {
+	pts := mkPoints([][2]float64{{10, 5}, {5, 8}, {2, 20}})
+	p, ok := MinTimeWithinBudget(pts, 10)
+	if !ok || p.Pred.T != 5 {
+		t.Fatalf("budget 10 -> %+v, want T=5", p.Pred)
+	}
+	p, ok = MinTimeWithinBudget(pts, 100)
+	if !ok || p.Pred.T != 2 {
+		t.Fatalf("budget 100 -> %+v, want T=2", p.Pred)
+	}
+	if _, ok := MinTimeWithinBudget(pts, 1); ok {
+		t.Fatal("impossible budget satisfied")
+	}
+}
+
+func TestQueriesConsistentWithFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var te [][2]float64
+	for i := 0; i < 200; i++ {
+		te = append(te, [2]float64{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	pts := mkPoints(te)
+	front := Frontier(pts)
+	for _, deadline := range []float64{5, 20, 50, 99} {
+		p, ok := MinEnergyWithinDeadline(pts, deadline)
+		if !ok {
+			continue
+		}
+		if !OnFrontier(front, p.Cfg) {
+			t.Fatalf("deadline query answer %v not on frontier", p.Cfg)
+		}
+	}
+}
+
+func TestSpaceSizesMatchPaper(t *testing.T) {
+	// Figure 8: n in powers of two up to 256, c in 1..8, f in 3 levels.
+	xeon := machine.XeonE5()
+	cfgs := Space(PowersOfTwo(256), xeon.CoresPerNode, xeon.Frequencies)
+	if len(cfgs) != 216 {
+		t.Fatalf("Xeon SP space = %d configurations, paper says 216", len(cfgs))
+	}
+	// Figure 9: n in 1..20, c in 1..4, f in 5 levels.
+	arm := machine.ARMCortexA9()
+	cfgs = Space(Range(1, 20), arm.CoresPerNode, arm.Frequencies)
+	if len(cfgs) != 400 {
+		t.Fatalf("ARM CP space = %d configurations, paper says 400", len(cfgs))
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(10)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("PowersOfTwo(10) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PowersOfTwo(10) = %v", got)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	got := Range(3, 5)
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("Range(3,5) = %v", got)
+	}
+	if Range(5, 3) != nil {
+		t.Fatal("inverted range should be nil")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	in := core.Inputs{
+		BaselineIters: 10,
+		Baseline: map[machine.CF]core.BaselinePoint{
+			{Cores: 1, Freq: 1e9}: {W: 1e10, B: 1e9, M: 1e9, U: 1},
+		},
+		Net: core.NetModel{Peak: 1e8},
+		Power: core.PowerModel{
+			PAct:     map[float64]float64{1e9: 5},
+			PStall:   map[float64]float64{1e9: 3},
+			PSysIdle: 10,
+		},
+	}
+	m, err := core.New(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := Space([]int{1, 2}, 1, []float64{1e9})
+	pts, err := Evaluate(m, cfgs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Missing baseline point aborts with context.
+	cfgs = append(cfgs, machine.Config{Nodes: 1, Cores: 2, Freq: 1e9})
+	if _, err := Evaluate(m, cfgs, 10); err == nil {
+		t.Fatal("Evaluate swallowed an error")
+	}
+}
+
+func TestMinEDP(t *testing.T) {
+	pts := mkPoints([][2]float64{{10, 5}, {5, 8}, {2, 20}})
+	// EDPs: 50, 40, 40 -> first of the tied minima by scan order is kept
+	// only if strictly smaller; {5,8} (EDP 40) comes before {2,20}.
+	p, ok := MinEDP(pts)
+	if !ok || p.Pred.EDP() != 40 {
+		t.Fatalf("MinEDP -> %+v", p.Pred)
+	}
+	if _, ok := MinEDP(nil); ok {
+		t.Fatal("empty MinEDP succeeded")
+	}
+}
+
+func TestMinED2P(t *testing.T) {
+	pts := mkPoints([][2]float64{{10, 5}, {5, 8}, {2, 20}})
+	// ED2Ps: 500, 200, 80 -> the fastest point wins.
+	p, ok := MinED2P(pts)
+	if !ok || p.Pred.T != 2 {
+		t.Fatalf("MinED2P -> %+v", p.Pred)
+	}
+}
+
+func TestEDPOptimaOnFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var te [][2]float64
+	for i := 0; i < 300; i++ {
+		te = append(te, [2]float64{rng.Float64()*99 + 1, rng.Float64()*99 + 1})
+	}
+	pts := mkPoints(te)
+	front := Frontier(pts)
+	for name, query := range map[string]func([]Point) (Point, bool){
+		"EDP":  MinEDP,
+		"ED2P": MinED2P,
+	} {
+		p, ok := query(pts)
+		if !ok {
+			t.Fatalf("%s query failed", name)
+		}
+		if !OnFrontier(front, p.Cfg) {
+			t.Fatalf("%s optimum %v not on the Pareto frontier", name, p.Cfg)
+		}
+	}
+}

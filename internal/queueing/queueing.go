@@ -1,0 +1,92 @@
+// Package queueing provides the closed-form queueing results the paper's
+// analytical model relies on: M/M/1, M/D/1 and M/G/1 (Pollaczek–Khinchine)
+// waiting times, plus a fixed-point helper for models whose arrival rate
+// depends on the predicted completion time.
+//
+// The paper's Eq. (5) writes the mean network waiting time as λ·ŷ²/(1−ρ)
+// citing standard LAN star-topology analyses; we implement the textbook
+// Pollaczek–Khinchine form W = λ·E[Y²]/(2(1−ρ)), which those analyses
+// reduce to, with E[Y²] the second moment of the service time.
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrUnstable reports an offered load at or beyond server capacity (ρ >= 1),
+// for which no finite stationary waiting time exists.
+var ErrUnstable = errors.New("queueing: utilization >= 1 (unstable queue)")
+
+// MG1Wait returns the mean waiting time (time in queue, excluding service)
+// of an M/G/1 queue with arrival rate lambda [1/s], mean service time
+// meanService [s] and second moment of service time secondMoment [s²],
+// using the Pollaczek–Khinchine formula.
+func MG1Wait(lambda, meanService, secondMoment float64) (float64, error) {
+	if lambda < 0 || meanService < 0 || secondMoment < 0 {
+		return 0, errors.New("queueing: negative parameter")
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	rho := lambda * meanService
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return lambda * secondMoment / (2 * (1 - rho)), nil
+}
+
+// MD1Wait returns the mean waiting time of an M/D/1 queue (deterministic
+// service): the P-K formula with E[Y²] = s².
+func MD1Wait(lambda, service float64) (float64, error) {
+	return MG1Wait(lambda, service, service*service)
+}
+
+// MM1Wait returns the mean waiting time of an M/M/1 queue (exponential
+// service): the P-K formula with E[Y²] = 2s².
+func MM1Wait(lambda, meanService float64) (float64, error) {
+	return MG1Wait(lambda, meanService, 2*meanService*meanService)
+}
+
+// Utilization returns ρ = λ·s, the offered load of a single-server queue.
+func Utilization(lambda, meanService float64) float64 { return lambda * meanService }
+
+// ClampedMG1Wait behaves like MG1Wait but caps the utilisation at maxRho
+// (e.g. 0.99) instead of failing, which is the pragmatic choice when a
+// model sweep crosses into saturation: the predicted wait grows very large
+// but stays finite, keeping Pareto sweeps total. It also returns the
+// (possibly clamped) utilisation.
+func ClampedMG1Wait(lambda, meanService, secondMoment, maxRho float64) (wait, rho float64) {
+	if lambda <= 0 || meanService <= 0 {
+		return 0, 0
+	}
+	rho = lambda * meanService
+	if rho > maxRho {
+		// Rescale lambda to the clamped load so the formula stays finite.
+		lambda = maxRho / meanService
+		rho = maxRho
+	}
+	return lambda * secondMoment / (2 * (1 - rho)), rho
+}
+
+// FixedPoint iterates x = f(x) from x0 until successive iterates differ by
+// less than tol (relative), or maxIter is reached. It returns the final
+// iterate and whether it converged. f must return finite values.
+func FixedPoint(f func(float64) float64, x0, tol float64, maxIter int) (float64, bool) {
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		next := f(x)
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return x, false
+		}
+		denom := math.Abs(x)
+		if denom < 1e-12 {
+			denom = 1e-12
+		}
+		if math.Abs(next-x)/denom < tol {
+			return next, true
+		}
+		x = next
+	}
+	return x, false
+}

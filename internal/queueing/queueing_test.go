@@ -1,0 +1,146 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1KnownValue(t *testing.T) {
+	// M/M/1: W = rho*s/(1-rho). lambda=0.5, s=1 -> rho=0.5, W=1.
+	got, err := MM1Wait(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MM1Wait = %g, want 1", got)
+	}
+}
+
+func TestMD1HalvesMM1(t *testing.T) {
+	mm1, err := MM1Wait(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md1, err := MD1Wait(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(md1*2-mm1) > 1e-12 {
+		t.Fatalf("MD1 %g should be half of MM1 %g", md1, mm1)
+	}
+}
+
+func TestMG1ZeroArrivals(t *testing.T) {
+	got, err := MG1Wait(0, 1, 1)
+	if err != nil || got != 0 {
+		t.Fatalf("MG1Wait(0,...) = %g, %v", got, err)
+	}
+}
+
+func TestMG1Unstable(t *testing.T) {
+	_, err := MG1Wait(1.0, 1.0, 1.0)
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("rho=1 gave %v, want ErrUnstable", err)
+	}
+	_, err = MG1Wait(2.0, 1.0, 1.0)
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("rho=2 gave %v, want ErrUnstable", err)
+	}
+}
+
+func TestMG1NegativeParams(t *testing.T) {
+	for _, c := range [][3]float64{{-1, 1, 1}, {1, -1, 1}, {1, 1, -1}} {
+		if _, err := MG1Wait(c[0], c[1], c[2]); err == nil {
+			t.Fatalf("MG1Wait(%v) accepted negative parameter", c)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if got := Utilization(0.5, 2); got != 1 {
+		t.Fatalf("Utilization = %g, want 1", got)
+	}
+}
+
+// Property: waiting time increases with load (fixed service distribution).
+func TestWaitMonotoneInLoad(t *testing.T) {
+	f := func(a, b uint8) bool {
+		la := float64(a%90+1) / 100 // rho in (0, 0.9]
+		lb := float64(b%90+1) / 100
+		if la > lb {
+			la, lb = lb, la
+		}
+		wa, err1 := MD1Wait(la, 1)
+		wb, err2 := MD1Wait(lb, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return wa <= wb+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more variable service (larger second moment) waits longer.
+func TestWaitMonotoneInVariance(t *testing.T) {
+	f := func(v uint8) bool {
+		s := 1.0
+		m2lo := s * s
+		m2hi := s * s * (1 + float64(v)/32)
+		lo, err1 := MG1Wait(0.5, s, m2lo)
+		hi, err2 := MG1Wait(0.5, s, m2hi)
+		return err1 == nil && err2 == nil && lo <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampedMG1Wait(t *testing.T) {
+	// Below the clamp it matches MG1Wait.
+	w, rho := ClampedMG1Wait(0.5, 1, 1, 0.98)
+	want, _ := MG1Wait(0.5, 1, 1)
+	if math.Abs(w-want) > 1e-12 || math.Abs(rho-0.5) > 1e-12 {
+		t.Fatalf("clamped (%g,%g) != plain %g", w, rho, want)
+	}
+	// Beyond it the load saturates at maxRho and the wait stays finite.
+	w, rho = ClampedMG1Wait(5, 1, 1, 0.98)
+	if rho != 0.98 {
+		t.Fatalf("rho = %g, want clamp 0.98", rho)
+	}
+	if math.IsInf(w, 0) || math.IsNaN(w) || w <= 0 {
+		t.Fatalf("clamped wait = %g", w)
+	}
+	// Degenerate inputs.
+	if w, rho := ClampedMG1Wait(0, 1, 1, 0.98); w != 0 || rho != 0 {
+		t.Fatal("zero arrivals should give zero wait")
+	}
+}
+
+func TestFixedPointConverges(t *testing.T) {
+	// x = 1 + x/2 has fixed point 2.
+	x, ok := FixedPoint(func(x float64) float64 { return 1 + x/2 }, 0, 1e-12, 200)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(x-2) > 1e-9 {
+		t.Fatalf("fixed point = %g, want 2", x)
+	}
+}
+
+func TestFixedPointDiverges(t *testing.T) {
+	_, ok := FixedPoint(func(x float64) float64 { return 2*x + 1 }, 1, 1e-12, 50)
+	if ok {
+		t.Fatal("divergent map reported convergence")
+	}
+}
+
+func TestFixedPointNonFinite(t *testing.T) {
+	_, ok := FixedPoint(func(x float64) float64 { return math.NaN() }, 1, 1e-12, 50)
+	if ok {
+		t.Fatal("NaN map reported convergence")
+	}
+}

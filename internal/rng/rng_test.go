@@ -1,0 +1,132 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitSameNameSameStream(t *testing.T) {
+	a := New(7).Split("node0")
+	b := New(7).Split("node0")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same split name diverged")
+		}
+	}
+}
+
+func TestSplitDifferentNamesDecorrelated(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("node0")
+	b := parent.Split("node1")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws across differently-named splits", same)
+	}
+}
+
+func TestJitterMeanNearOne(t *testing.T) {
+	s := New(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Jitter(0.05)
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.005 {
+		t.Fatalf("jitter mean = %.4f, want ~1.0", mean)
+	}
+}
+
+func TestJitterZeroSigma(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10; i++ {
+		if s.Jitter(0) != 1 {
+			t.Fatal("zero-sigma jitter != 1")
+		}
+		if s.Jitter(-1) != 1 {
+			t.Fatal("negative-sigma jitter != 1")
+		}
+	}
+}
+
+func TestJitterAlwaysPositive(t *testing.T) {
+	s := New(11)
+	f := func(sigmaRaw uint8) bool {
+		sigma := float64(sigmaRaw) / 255 * 0.5
+		return s.Jitter(sigma) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(10, 2)
+		sum += x
+		ss += (x - 10) * (x - 10)
+	}
+	mean, sd := sum/n, math.Sqrt(ss/n)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("mean = %.3f, want ~10", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Fatalf("stddev = %.3f, want ~2", sd)
+	}
+}
+
+func TestExpMeanAndEdge(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Fatalf("exp mean = %.3f, want ~3", mean)
+	}
+	if s.Exp(0) != 0 || s.Exp(-1) != 0 {
+		t.Fatal("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm(20) = %v is not a permutation", p)
+		}
+		seen[v] = true
+	}
+}

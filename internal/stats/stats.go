@@ -1,0 +1,127 @@
+// Package stats provides the small statistical toolkit the validation and
+// experiment harnesses need: means, deviations, percentiles and the
+// relative-error summaries reported in the paper's Table 2.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs (0 for fewer than
+// two samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the smallest element (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. Empty input yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if p <= 0 {
+		return ys[0]
+	}
+	if p >= 100 {
+		return ys[len(ys)-1]
+	}
+	rank := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := rank - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// RelErr returns |predicted-measured| / measured as a percentage.
+// A zero measurement yields 0 if predicted is also 0, else +Inf.
+func RelErr(predicted, measured float64) float64 {
+	if measured == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-measured) / math.Abs(measured) * 100
+}
+
+// ErrorSummary aggregates relative errors the way the paper's Table 2 does:
+// mean and standard deviation of the per-configuration percentage error.
+type ErrorSummary struct {
+	N      int
+	Mean   float64 // mean |error| [%]
+	StdDev float64 // std dev of |error| [%]
+	Max    float64 // worst-case |error| [%]
+}
+
+// SummarizeErrors computes an ErrorSummary over paired predictions and
+// measurements. The two slices must have equal length.
+func SummarizeErrors(predicted, measured []float64) ErrorSummary {
+	if len(predicted) != len(measured) {
+		panic("stats: SummarizeErrors length mismatch")
+	}
+	errs := make([]float64, 0, len(predicted))
+	for i := range predicted {
+		errs = append(errs, RelErr(predicted[i], measured[i]))
+	}
+	return ErrorSummary{
+		N:      len(errs),
+		Mean:   Mean(errs),
+		StdDev: StdDev(errs),
+		Max:    Max(errs),
+	}
+}

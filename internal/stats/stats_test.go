@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constants = %g", got)
+	}
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Errorf("StdDev of singleton = %g", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+// Property: any percentile lies within [min, max] of the sample.
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw) / 255 * 100
+		v := Percentile(xs, p)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the mean lies within [min, max].
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-10) > 1e-12 {
+		t.Errorf("RelErr(110,100) = %g, want 10", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got-10) > 1e-12 {
+		t.Errorf("RelErr(90,100) = %g, want 10", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %g, want 0", got)
+	}
+	if got := RelErr(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(1,0) = %g, want +Inf", got)
+	}
+	if got := RelErr(-110, -100); math.Abs(got-10) > 1e-12 {
+		t.Errorf("RelErr(-110,-100) = %g, want 10", got)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	pred := []float64{110, 95, 100}
+	meas := []float64{100, 100, 100}
+	s := SummarizeErrors(pred, meas)
+	if s.N != 3 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("Mean = %g, want 5", s.Mean)
+	}
+	if math.Abs(s.Max-10) > 1e-12 {
+		t.Fatalf("Max = %g, want 10", s.Max)
+	}
+}
+
+func TestSummarizeErrorsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	SummarizeErrors([]float64{1}, []float64{1, 2})
+}

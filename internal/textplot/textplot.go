@@ -1,0 +1,211 @@
+// Package textplot renders the repository's tables and figures as plain
+// text: aligned tables, horizontal bar groups (for the measured-vs-
+// predicted validation figures) and scatter plots with optional log axes
+// (for the time-energy Pareto figures).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// BarGroup renders one horizontal bar per (label, series) pair, scaled to
+// the global maximum — the layout of the validation figures, where each
+// configuration shows a Measured and a Predicted bar.
+func BarGroup(title, unit string, labels []string, series []string, values map[string][]float64, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	max := 0.0
+	for _, vs := range values {
+		for _, v := range vs {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	seriesW := 0
+	for _, s := range series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	for i, label := range labels {
+		for _, s := range series {
+			vs := values[s]
+			if i >= len(vs) {
+				continue
+			}
+			n := 0
+			if max > 0 {
+				n = int(math.Round(vs[i] / max * float64(width)))
+			}
+			fmt.Fprintf(&b, "%-*s %-*s |%s%s %.4g %s\n",
+				labelW, label, seriesW, s,
+				strings.Repeat("#", n), strings.Repeat(" ", width-n), vs[i], unit)
+		}
+	}
+	return b.String()
+}
+
+// XY is one scatter point with an optional highlight and label.
+type XY struct {
+	X, Y      float64
+	Highlight bool   // rendered as '*' instead of '.'
+	Label     string // annotated in the legend when highlighted
+}
+
+// Scatter renders points on a width x height character grid. Log axes are
+// applied per flag (points with non-positive coordinates are dropped on
+// log axes). Highlighted points draw over plain ones and are listed under
+// the plot with their labels.
+func Scatter(title, xName, yName string, pts []XY, width, height int, logX, logY bool) string {
+	if width < 20 {
+		width = 72
+	}
+	if height < 8 {
+		height = 24
+	}
+	tx := func(v float64) (float64, bool) {
+		if logX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if logY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type txy struct {
+		x, y float64
+		p    XY
+	}
+	var tpts []txy
+	for _, p := range pts {
+		x, okx := tx(p.X)
+		y, oky := ty(p.Y)
+		if !okx || !oky {
+			continue
+		}
+		tpts = append(tpts, txy{x, y, p})
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(tpts) == 0 {
+		b.WriteString("(no points)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(p txy, mark byte) {
+		cx := int((p.x - minX) / (maxX - minX) * float64(width-1))
+		cy := int((p.y - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - cy
+		grid[row][cx] = mark
+	}
+	for _, p := range tpts {
+		if !p.p.Highlight {
+			plot(p, '.')
+		}
+	}
+	for _, p := range tpts {
+		if p.p.Highlight {
+			plot(p, '*')
+		}
+	}
+	fmtAxis := func(v float64, log bool) string {
+		if log {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for r, row := range grid {
+		label := ""
+		if r == 0 {
+			label = fmtAxis(maxY, logY)
+		} else if r == height-1 {
+			label = fmtAxis(minY, logY)
+		}
+		fmt.Fprintf(&b, "%8s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%8s  %-*s%s\n", "", width-len(fmtAxis(maxX, logX)), fmtAxis(minX, logX), fmtAxis(maxX, logX))
+	fmt.Fprintf(&b, "          x: %s%s, y: %s%s   (. = configuration, * = Pareto-optimal)\n",
+		xName, logSuffix(logX), yName, logSuffix(logY))
+	for _, p := range tpts {
+		if p.p.Highlight && p.p.Label != "" {
+			fmt.Fprintf(&b, "          * %-18s T=%-10.4g E=%.4g\n", p.p.Label, p.p.X, p.p.Y)
+		}
+	}
+	return b.String()
+}
+
+func logSuffix(log bool) string {
+	if log {
+		return " [log]"
+	}
+	return ""
+}

@@ -1,0 +1,131 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"xxxx", "1"},
+		{"y", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header+rule+2 rows", len(lines))
+	}
+	// All lines aligned to the same width.
+	for _, l := range lines[1:] {
+		if len(l) > len(lines[0])+1 {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("missing rule: %q", lines[1])
+	}
+}
+
+func TestTableWidensForCells(t *testing.T) {
+	out := Table([]string{"h"}, [][]string{{"wider-than-header"}})
+	if !strings.Contains(out, "wider-than-header") {
+		t.Fatal("cell truncated")
+	}
+}
+
+func TestBarGroupScaling(t *testing.T) {
+	out := BarGroup("title", "s", []string{"(2,1)", "(2,4)"},
+		[]string{"Measured", "Predicted"},
+		map[string][]float64{
+			"Measured":  {100, 50},
+			"Predicted": {90, 55},
+		}, 40)
+	if !strings.HasPrefix(out, "title\n") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + 2 labels x 2 series
+		t.Fatalf("%d lines", len(lines))
+	}
+	// The max value gets the full-width bar.
+	if !strings.Contains(lines[1], strings.Repeat("#", 40)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	// Bars are proportional: 50 gets half of 100's bar.
+	half := strings.Count(lines[3], "#")
+	if half < 18 || half > 22 {
+		t.Fatalf("proportionality off: 50/100 bar has %d marks", half)
+	}
+	// Values are printed.
+	if !strings.Contains(out, "100") || !strings.Contains(out, "55") {
+		t.Fatal("values missing")
+	}
+}
+
+func TestBarGroupZeroValues(t *testing.T) {
+	out := BarGroup("t", "J", []string{"x"}, []string{"s"}, map[string][]float64{"s": {0}}, 10)
+	if !strings.Contains(out, "0 J") {
+		t.Fatalf("zero bar rendering: %q", out)
+	}
+}
+
+func TestBarGroupShortSeries(t *testing.T) {
+	// A series with fewer values than labels must not panic.
+	out := BarGroup("t", "", []string{"a", "b"}, []string{"s"}, map[string][]float64{"s": {1}}, 10)
+	if !strings.Contains(out, "a") {
+		t.Fatal("label missing")
+	}
+}
+
+func TestScatterBasics(t *testing.T) {
+	pts := []XY{
+		{X: 1, Y: 1},
+		{X: 100, Y: 50},
+		{X: 10, Y: 25, Highlight: true, Label: "front"},
+	}
+	out := Scatter("plot", "T", "E", pts, 40, 10, true, false)
+	if !strings.Contains(out, "plot") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("highlighted point not starred")
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatal("plain points missing")
+	}
+	if !strings.Contains(out, "front") {
+		t.Fatal("highlight label missing")
+	}
+	if !strings.Contains(out, "[log]") {
+		t.Fatal("log axis not indicated")
+	}
+}
+
+func TestScatterDropsNonPositiveOnLogAxes(t *testing.T) {
+	pts := []XY{{X: -1, Y: 1}, {X: 0, Y: 1}}
+	out := Scatter("p", "x", "y", pts, 30, 8, true, false)
+	if !strings.Contains(out, "(no points)") {
+		t.Fatalf("log axis kept non-positive points:\n%s", out)
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	out := Scatter("p", "x", "y", []XY{{X: 5, Y: 5}}, 30, 8, false, false)
+	if !strings.Contains(out, ".") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestScatterEmptyInput(t *testing.T) {
+	out := Scatter("p", "x", "y", nil, 30, 8, false, false)
+	if !strings.Contains(out, "(no points)") {
+		t.Fatal("empty scatter should say so")
+	}
+}
+
+func TestScatterMinimumDimensions(t *testing.T) {
+	// Degenerate width/height fall back to defaults without panicking.
+	out := Scatter("p", "x", "y", []XY{{X: 1, Y: 2}, {X: 3, Y: 4}}, 1, 1, false, true)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,164 @@
+// Package trace records per-rank phase timelines of simulated executions —
+// compute regions and communication waits — and renders them as a text
+// Gantt chart. It is the visual counterpart of the UCR metric: the chart
+// shows exactly where the non-useful time of Eq. (14) sits in each rank's
+// timeline (and makes rank imbalance and synchronisation skew visible at
+// a glance).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a phase.
+type Kind int
+
+const (
+	Compute Kind = iota // OpenMP parallel region (includes memory stalls)
+	Network             // MPI communication (collectives, halo waits)
+)
+
+// mark is the Gantt glyph per kind.
+func (k Kind) mark() byte {
+	switch k {
+	case Compute:
+		return '#'
+	case Network:
+		return '~'
+	}
+	return '?'
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Network:
+		return "network"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one phase of one rank.
+type Event struct {
+	Rank       int
+	Kind       Kind
+	Start, End float64 // virtual time [s]
+}
+
+// Duration returns the event length.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// *Recorder safely ignores Add calls, so instrumentation sites need no
+// conditionals.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// NewRecorder creates a recorder holding at most limit events (<= 0 means
+// a generous default of 1<<20); past the limit, further events are
+// dropped rather than growing without bound.
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Add records one phase. No-op on a nil recorder or zero-length phases.
+func (r *Recorder) Add(rank int, kind Kind, start, end float64) {
+	if r == nil || end <= start || len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{Rank: rank, Kind: kind, Start: start, End: end})
+}
+
+// Events returns the recorded events in insertion order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Summary aggregates total duration per (rank, kind).
+func Summary(events []Event) map[int]map[Kind]float64 {
+	out := make(map[int]map[Kind]float64)
+	for _, e := range events {
+		if out[e.Rank] == nil {
+			out[e.Rank] = make(map[Kind]float64)
+		}
+		out[e.Rank][e.Kind] += e.Duration()
+	}
+	return out
+}
+
+// Gantt renders the events as one timeline row per rank over `width`
+// columns: '#' compute, '~' network wait, ' ' idle. Overlapping events of
+// different kinds in one cell resolve to the kind covering more of it.
+func Gantt(events []Event, width int) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	if width < 20 {
+		width = 100
+	}
+	tMax := 0.0
+	ranks := map[int]bool{}
+	for _, e := range events {
+		tMax = math.Max(tMax, e.End)
+		ranks[e.Rank] = true
+	}
+	if tMax <= 0 {
+		return "(no events)\n"
+	}
+	var ids []int
+	for r := range ranks {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+
+	// Per rank and column, the coverage per kind decides the glyph.
+	cell := float64(width) / tMax
+	var b strings.Builder
+	for _, rank := range ids {
+		cover := make([][2]float64, width) // [compute, network] coverage
+		for _, e := range events {
+			if e.Rank != rank {
+				continue
+			}
+			lo := int(e.Start * cell)
+			hi := int(math.Ceil(e.End * cell))
+			for c := lo; c < hi && c < width; c++ {
+				cs := float64(c) / cell
+				ce := float64(c+1) / cell
+				ov := math.Min(e.End, ce) - math.Max(e.Start, cs)
+				if ov <= 0 {
+					continue
+				}
+				cover[c][int(e.Kind)] += ov
+			}
+		}
+		row := make([]byte, width)
+		for c := range row {
+			switch {
+			case cover[c][0] == 0 && cover[c][1] == 0:
+				row[c] = ' '
+			case cover[c][0] >= cover[c][1]:
+				row[c] = Compute.mark()
+			default:
+				row[c] = Network.mark()
+			}
+		}
+		fmt.Fprintf(&b, "rank %2d |%s|\n", rank, string(row))
+	}
+	fmt.Fprintf(&b, "        0%*s%.3gs\n", width-4, "", tMax)
+	fmt.Fprintf(&b, "        # compute (incl. memory stalls)   ~ network   (blank = idle)\n")
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(0, Compute, 0, 1)
+	r.Add(0, Network, 1, 1.5)
+	r.Add(1, Compute, 0, 2)
+	r.Add(0, Compute, 3, 3) // zero length: dropped
+	r.Add(0, Compute, 5, 4) // negative: dropped
+	if got := len(r.Events()); got != 3 {
+		t.Fatalf("%d events, want 3", got)
+	}
+	if d := r.Events()[1].Duration(); d != 0.5 {
+		t.Fatalf("duration %g", d)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(0, Compute, 0, 1) // must not panic
+	if r.Events() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Add(0, Compute, float64(i), float64(i)+0.5)
+	}
+	if got := len(r.Events()); got != 2 {
+		t.Fatalf("limit ignored: %d events", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	events := []Event{
+		{Rank: 0, Kind: Compute, Start: 0, End: 2},
+		{Rank: 0, Kind: Network, Start: 2, End: 3},
+		{Rank: 0, Kind: Compute, Start: 3, End: 4},
+		{Rank: 1, Kind: Network, Start: 0, End: 4},
+	}
+	s := Summary(events)
+	if s[0][Compute] != 3 || s[0][Network] != 1 {
+		t.Fatalf("rank 0 summary %v", s[0])
+	}
+	if s[1][Network] != 4 {
+		t.Fatalf("rank 1 summary %v", s[1])
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	events := []Event{
+		{Rank: 0, Kind: Compute, Start: 0, End: 5},
+		{Rank: 0, Kind: Network, Start: 5, End: 10},
+		{Rank: 1, Kind: Compute, Start: 0, End: 10},
+	}
+	out := Gantt(events, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 2 ranks + axis + legend
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "rank  0") || !strings.HasPrefix(lines[1], "rank  1") {
+		t.Fatalf("rank rows missing:\n%s", out)
+	}
+	// Rank 0: first half compute, second half network.
+	row0 := lines[0]
+	if !strings.Contains(row0, "#") || !strings.Contains(row0, "~") {
+		t.Fatalf("rank 0 row lacks both phases: %q", row0)
+	}
+	if strings.Contains(lines[1], "~") {
+		t.Fatalf("rank 1 should be pure compute: %q", lines[1])
+	}
+	if !strings.Contains(out, "10s") {
+		t.Fatalf("time axis missing:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if got := Gantt(nil, 40); !strings.Contains(got, "no events") {
+		t.Fatalf("empty gantt: %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Network.String() != "network" {
+		t.Fatal("kind names")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+}
