@@ -71,6 +71,7 @@ func benchModel(b *testing.B, sys *System, prog *Program) *Model {
 func BenchmarkPredict(b *testing.B) {
 	model := benchModel(b, XeonE5(), SP())
 	cfg := Config{Nodes: 8, Cores: 8, Freq: 1.8e9}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := model.Predict(cfg, ClassA); err != nil {
@@ -93,6 +94,37 @@ func BenchmarkExploreFigure8Space(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkExploreFullSpace sweeps a dense 8-node x 8-core x all-DVFS
+// Xeon space (192 configurations) through the sweep engine, serial vs
+// 8-worker, the headline numbers recorded in BENCH_1.json.
+func BenchmarkExploreFullSpace(b *testing.B) {
+	model := benchModel(b, XeonE5(), SP())
+	cfgs := model.Space(pareto.Range(1, 8))
+	if len(cfgs) != 192 {
+		b.Fatalf("space = %d", len(cfgs))
+	}
+	S, err := SP().Iterations(ClassA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pareto.Evaluate(model.Core(), cfgs, S); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pareto.EvaluateParallel(model.Core(), cfgs, S, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimulation measures the DES cost of one direct measurement at

@@ -32,6 +32,7 @@ func main() {
 		deadline = flag.Float64("deadline", 0, "execution-time deadline [s] (0 = none)")
 		budget   = flag.Float64("budget", 0, "energy budget [J] (0 = none)")
 		seed     = flag.Int64("seed", 42, "characterisation seed")
+		workers  = flag.Int("workers", 0, "parallel characterisation/sweep workers (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := hybridperf.Characterize(sys, prog, &hybridperf.CharacterizeOptions{Seed: *seed})
+	model, err := hybridperf.Characterize(sys, prog, &hybridperf.CharacterizeOptions{Seed: *seed, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,6 +32,7 @@ func main() {
 		fGHz    = flag.Float64("f", 0, "core frequency [GHz]; 0 = fmax")
 		grid    = flag.Bool("grid", false, "predict the whole n-{1,2,4,8} x c x f grid")
 		seed    = flag.Int64("seed", 42, "characterisation seed")
+		workers = flag.Int("workers", 0, "parallel characterisation/sweep workers (0 = NumCPU)")
 		inputs  = flag.String("inputs", "", "load saved model inputs (from `characterize -o`) instead of re-characterising")
 		sens    = flag.Bool("sensitivity", false, "also print input sensitivities (+10% per input)")
 	)
@@ -60,31 +61,35 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		model = model.WithWorkers(*workers)
 	} else {
-		model, err = hybridperf.Characterize(sys, prog, &hybridperf.CharacterizeOptions{Seed: *seed})
+		model, err = hybridperf.Characterize(sys, prog, &hybridperf.CharacterizeOptions{Seed: *seed, Workers: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	if *grid {
-		var rows [][]string
+		var cfgs []hybridperf.Config
 		for _, nn := range []int{1, 2, 4, 8} {
 			for cc := 1; cc <= sys.CoresPerNode; cc++ {
 				for _, f := range sys.Frequencies {
-					cfg := hybridperf.Config{Nodes: nn, Cores: cc, Freq: f}
-					p, err := model.Predict(cfg, hybridperf.Class(*class))
-					if err != nil {
-						log.Fatal(err)
-					}
-					rows = append(rows, []string{
-						cfg.String(),
-						fmt.Sprintf("%.1f", p.T),
-						fmt.Sprintf("%.2f", p.E/1e3),
-						fmt.Sprintf("%.2f", p.UCR),
-					})
+					cfgs = append(cfgs, hybridperf.Config{Nodes: nn, Cores: cc, Freq: f})
 				}
 			}
+		}
+		preds, err := model.PredictAll(cfgs, hybridperf.Class(*class))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rows [][]string
+		for i, cfg := range cfgs {
+			rows = append(rows, []string{
+				cfg.String(),
+				fmt.Sprintf("%.1f", preds[i].T),
+				fmt.Sprintf("%.2f", preds[i].E/1e3),
+				fmt.Sprintf("%.2f", preds[i].UCR),
+			})
 		}
 		fmt.Fprintln(os.Stdout, textplot.Table([]string{"(n,c,f[GHz])", "T[s]", "E[kJ]", "UCR"}, rows))
 		return

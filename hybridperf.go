@@ -26,7 +26,10 @@
 package hybridperf
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"hybridperf/internal/characterize"
 	"hybridperf/internal/core"
@@ -109,13 +112,16 @@ func Synthetic(name string, workPerIter, memBytesPerWork float64, baseIters, hal
 // Model predicts the time-energy performance of one program on one system
 // from its characterisation.
 type Model struct {
-	core *core.Model
-	sys  *System
-	prog *Program
+	core    *core.Model
+	sys     *System
+	prog    *Program
+	workers int // sweep parallelism; <= 0 means GOMAXPROCS
 }
 
 // Characterize measures a program on a system and builds its model.
-// opts may be nil for defaults (seed 0, class-S baseline).
+// opts may be nil for defaults (seed 0, class-S baseline). The Workers
+// option also sets the model's sweep parallelism (Explore, Validate,
+// PredictAll); override it later with WithWorkers.
 func Characterize(sys *System, prog *Program, opts *CharacterizeOptions) (*Model, error) {
 	var o CharacterizeOptions
 	if opts != nil {
@@ -129,7 +135,7 @@ func Characterize(sys *System, prog *Program, opts *CharacterizeOptions) (*Model
 	if err != nil {
 		return nil, err
 	}
-	return &Model{core: cm, sys: sys, prog: prog}, nil
+	return &Model{core: cm, sys: sys, prog: prog, workers: o.Workers}, nil
 }
 
 // NewModel wraps pre-assembled model inputs (e.g. loaded from disk or
@@ -151,6 +157,21 @@ func (m *Model) Program() *Program { return m.prog }
 // Core exposes the underlying analytical model.
 func (m *Model) Core() *core.Model { return m.core }
 
+// WithWorkers derives a model whose space sweeps (Explore, Validate,
+// PredictAll and the queries built on them) use up to n goroutines.
+// n <= 0 restores the default (GOMAXPROCS).
+func (m *Model) WithWorkers(n int) *Model {
+	return &Model{core: m.core, sys: m.sys, prog: m.prog, workers: n}
+}
+
+// sweepWorkers resolves the effective sweep parallelism.
+func (m *Model) sweepWorkers() int {
+	if m.workers > 0 {
+		return m.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // iters resolves a class to its iteration count.
 func (m *Model) iters(class Class) (int, error) { return m.prog.Iterations(class) }
 
@@ -170,17 +191,37 @@ func (m *Model) Space(nodes []int) []Config {
 }
 
 // Explore predicts every configuration and returns all points plus the
-// time-energy Pareto frontier.
+// time-energy Pareto frontier. The sweep runs on the model's worker pool
+// (see WithWorkers); results are deterministic and in cfgs order
+// regardless of the worker count.
 func (m *Model) Explore(cfgs []Config, class Class) (points, frontier []Point, err error) {
 	S, err := m.iters(class)
 	if err != nil {
 		return nil, nil, err
 	}
-	points, err = pareto.Evaluate(m.core, cfgs, S)
+	points, err = pareto.EvaluateParallel(m.core, cfgs, S, m.sweepWorkers())
 	if err != nil {
 		return nil, nil, err
 	}
 	return points, pareto.Frontier(points), nil
+}
+
+// PredictAll evaluates the model over a configuration list on the model's
+// worker pool, returning predictions in cfgs order.
+func (m *Model) PredictAll(cfgs []Config, class Class) ([]Prediction, error) {
+	S, err := m.iters(class)
+	if err != nil {
+		return nil, err
+	}
+	points, err := pareto.EvaluateParallel(m.core, cfgs, S, m.sweepWorkers())
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]Prediction, len(points))
+	for i, p := range points {
+		preds[i] = p.Pred
+	}
+	return preds, nil
 }
 
 // MinEnergyWithinDeadline returns the configuration meeting the deadline
@@ -210,7 +251,7 @@ func (m *Model) MinTimeWithinBudget(cfgs []Config, class Class, budget float64) 
 func (m *Model) WithMemoryBandwidthScale(x float64) *Model {
 	opt := m.core.Options()
 	opt.MemBandwidthScale = x
-	return &Model{core: m.core.WithOptions(opt), sys: m.sys, prog: m.prog}
+	return m.withCoreOptions(opt)
 }
 
 // WithNetworkBandwidthScale returns a what-if model whose network peak
@@ -218,7 +259,18 @@ func (m *Model) WithMemoryBandwidthScale(x float64) *Model {
 func (m *Model) WithNetworkBandwidthScale(x float64) *Model {
 	opt := m.core.Options()
 	opt.NetBandwidthScale = x
-	return &Model{core: m.core.WithOptions(opt), sys: m.sys, prog: m.prog}
+	return m.withCoreOptions(opt)
+}
+
+// withCoreOptions rebuilds the model around new core options. The scale
+// setters only vary the bandwidth scalings of an already-validated option
+// set, so a validation error here is a programming bug.
+func (m *Model) withCoreOptions(opt core.Options) *Model {
+	cm, err := m.core.WithOptions(opt)
+	if err != nil {
+		panic(fmt.Sprintf("hybridperf: invalid derived options: %v", err))
+	}
+	return &Model{core: cm, sys: m.sys, prog: m.prog, workers: m.workers}
 }
 
 // Simulate directly measures one execution on the simulated cluster: the
@@ -248,29 +300,63 @@ func SimulateWithDVFS(sys *System, prog *Program, class Class, cfg Config, seed 
 
 // Validate compares model predictions against direct simulation over a
 // configuration list, returning mean absolute percentage errors for time
-// and energy — the per-program numbers of the paper's Table 2.
+// and energy — the per-program numbers of the paper's Table 2. The
+// per-configuration predict+simulate pairs run on the model's worker pool
+// (see WithWorkers); each pair derives its simulation seed from seed and
+// the configuration index, so the result is independent of the worker
+// count and identical to a serial evaluation.
 func (m *Model) Validate(cfgs []Config, class Class, seed int64) (timeErrPct, energyErrPct float64, err error) {
 	S, err := m.iters(class)
 	if err != nil {
 		return 0, 0, err
 	}
-	var sumT, sumE float64
-	for i, cfg := range cfgs {
-		pred, err := m.core.Predict(cfg, S)
-		if err != nil {
-			return 0, 0, err
-		}
-		meas, err := Simulate(m.sys, m.prog, class, cfg, seed+int64(i))
-		if err != nil {
-			return 0, 0, err
-		}
-		sumT += relErr(pred.T, meas.Time)
-		sumE += relErr(pred.E, meas.MeasuredEnergy)
-	}
-	n := float64(len(cfgs))
-	if n == 0 {
+	if len(cfgs) == 0 {
 		return 0, 0, fmt.Errorf("hybridperf: Validate needs at least one configuration")
 	}
+	workers := m.sweepWorkers()
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	errT := make([]float64, len(cfgs))
+	errE := make([]float64, len(cfgs))
+	shardErrs := make([]error, workers)
+	chunk := (len(cfgs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				pred, err := m.core.Predict(cfgs[i], S)
+				if err != nil {
+					shardErrs[w] = err
+					return
+				}
+				meas, err := Simulate(m.sys, m.prog, class, cfgs[i], seed+int64(i))
+				if err != nil {
+					shardErrs[w] = err
+					return
+				}
+				errT[i] = relErr(pred.T, meas.Time)
+				errE[i] = relErr(pred.E, meas.MeasuredEnergy)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err := errors.Join(shardErrs...); err != nil {
+		return 0, 0, err
+	}
+	var sumT, sumE float64
+	for i := range cfgs {
+		sumT += errT[i]
+		sumE += errE[i]
+	}
+	n := float64(len(cfgs))
 	return sumT / n, sumE / n, nil
 }
 

@@ -183,6 +183,63 @@ func TestNewModelFromInputs(t *testing.T) {
 	}
 }
 
+// TestValidateDeterministicAcrossWorkers pins Validate's contract: the
+// per-configuration simulation seeds derive from the base seed and the
+// configuration index, so the reported errors are independent of the
+// worker count.
+func TestValidateDeterministicAcrossWorkers(t *testing.T) {
+	model, err := Characterize(XeonE5(), SP(), charOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{Nodes: 1, Cores: 4, Freq: 1.8e9},
+		{Nodes: 2, Cores: 8, Freq: 1.5e9},
+		{Nodes: 4, Cores: 2, Freq: 1.2e9},
+		{Nodes: 8, Cores: 8, Freq: 1.8e9},
+	}
+	baseT, baseE, err := model.WithWorkers(1).Validate(cfgs, ClassA, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		terr, eerr, err := model.WithWorkers(workers).Validate(cfgs, ClassA, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terr != baseT || eerr != baseE {
+			t.Fatalf("workers=%d: errors %.6f%%/%.6f%% differ from serial %.6f%%/%.6f%%",
+				workers, terr, eerr, baseT, baseE)
+		}
+	}
+}
+
+// TestPredictAllMatchesPredict checks the facade's batched sweep against
+// one-at-a-time Predict calls.
+func TestPredictAllMatchesPredict(t *testing.T) {
+	model, err := Characterize(XeonE5(), SP(), charOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := model.Space([]int{1, 2, 4, 8})
+	preds, err := model.PredictAll(cfgs, ClassA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(cfgs) {
+		t.Fatalf("%d predictions for %d configurations", len(preds), len(cfgs))
+	}
+	for _, i := range []int{0, len(cfgs) / 2, len(cfgs) - 1} {
+		solo, err := model.Predict(cfgs[i], ClassA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preds[i] != solo {
+			t.Fatalf("PredictAll[%d] = %+v differs from Predict %+v", i, preds[i], solo)
+		}
+	}
+}
+
 func TestValidateRequiresConfigs(t *testing.T) {
 	model, err := Characterize(XeonE5(), LU(), charOpts)
 	if err != nil {

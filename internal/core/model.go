@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"hybridperf/internal/machine"
 	"hybridperf/internal/queueing"
@@ -64,6 +65,10 @@ type MsgClass struct {
 // execution — the communication characteristics η and ν that mpiP
 // measures, extended over n by the program's decomposition structure
 // ("inferred from l and τ", paper Sec. III.E.1).
+//
+// Classes must be a pure function of n: the model memoises the reduced
+// communication moments per node count, so an implementation that varies
+// its answer between calls would produce stale predictions.
 type CommModel interface {
 	Classes(n int) []MsgClass
 }
@@ -127,9 +132,11 @@ type Inputs struct {
 type Options struct {
 	MemBandwidthScale float64 // >1 = faster memory; scales m by 1/x (default 1)
 	NetBandwidthScale float64 // >1 = faster network; scales Peak by x (default 1)
-	MaxNetUtilization float64 // ρ clamp for saturated sweeps (default 0.98)
+	MaxNetUtilization float64 // ρ clamp for saturated sweeps, in (0,1) (default 0.98)
 }
 
+// fill replaces unset (<= 0) knobs with their defaults. Out-of-range
+// values above the defaults are not coerced — validate rejects them.
 func (o *Options) fill() {
 	if o.MemBandwidthScale <= 0 {
 		o.MemBandwidthScale = 1
@@ -137,19 +144,67 @@ func (o *Options) fill() {
 	if o.NetBandwidthScale <= 0 {
 		o.NetBandwidthScale = 1
 	}
-	if o.MaxNetUtilization <= 0 || o.MaxNetUtilization >= 1 {
+	if o.MaxNetUtilization <= 0 {
 		o.MaxNetUtilization = 0.98
 	}
 }
 
+// validate rejects filled options outside their mathematical domain: a
+// utilisation clamp at or above 1 would make the M/G/1 waiting time
+// (Eq. 5) divide by zero or go negative.
+func (o Options) validate() error {
+	if o.MaxNetUtilization >= 1 {
+		return fmt.Errorf("core: MaxNetUtilization must be in (0,1), got %g", o.MaxNetUtilization)
+	}
+	return nil
+}
+
+// cfPoint is the per-(c,f) lookup entry: the baseline counters joined
+// with the power characterisation at f, resolved once at model build so
+// Predict does a single table access instead of three map lookups.
+type cfPoint struct {
+	freq     float64
+	bp       BaselinePoint
+	pAct     float64
+	pStall   float64
+	hasPower bool
+}
+
 // Model predicts time-energy performance from measured inputs.
+//
+// A Model is immutable after construction and safe for concurrent use:
+// Predict may be called from many goroutines (the sweep engine in
+// internal/pareto does exactly that). The per-node-count communication
+// moments are memoised behind an atomically swapped slice; derived models
+// (WithOptions) start with a fresh memo since NetBandwidthScale feeds the
+// moments.
 type Model struct {
 	in  Inputs
 	opt Options
+
+	// byCores is the baseline ⋈ power table, indexed by core count; the
+	// few DVFS levels per count are scanned by exact frequency match.
+	// Float-keyed map lookups dominated sweep profiles; this dense form
+	// reduces the per-Predict lookup to an index and a short scan.
+	byCores [][]cfPoint
+	haveCFs []machine.CF // sorted baseline points, for error reports
+
+	// moments memoises reduceClasses by node count: a copy-on-write slice
+	// (index n) swapped via CAS, so the sweep's hot path is one atomic
+	// load and an index instead of a map operation.
+	moments atomic.Pointer[[]momentSlot]
+}
+
+// momentSlot distinguishes "not yet computed" from a computed nil (the
+// program exchanges no messages at that node count).
+type momentSlot struct {
+	computed bool
+	cm       *commMoments
 }
 
 // New validates the inputs and returns a ready model. opt may be nil for
-// defaults.
+// defaults. The baseline and power tables are snapshot at construction;
+// later mutation of the input maps does not affect the model.
 func New(in Inputs, opt *Options) (*Model, error) {
 	if in.BaselineIters < 1 {
 		return nil, fmt.Errorf("core: BaselineIters must be >= 1")
@@ -173,7 +228,58 @@ func New(in Inputs, opt *Options) (*Model, error) {
 		o = *opt
 	}
 	o.fill()
-	return &Model{in: in, opt: o}, nil
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return build(in, o), nil
+}
+
+// build assembles a model from validated inputs and filled options,
+// precomputing the per-(c,f) lookup table and the sorted baseline key
+// list. The moments memo starts empty.
+func build(in Inputs, opt Options) *Model {
+	m := &Model{in: in, opt: opt}
+	maxCores := 0
+	for cf := range in.Baseline {
+		if cf.Cores > maxCores {
+			maxCores = cf.Cores
+		}
+	}
+	m.byCores = make([][]cfPoint, maxCores+1)
+	m.haveCFs = make([]machine.CF, 0, len(in.Baseline))
+	for cf, bp := range in.Baseline {
+		pact, okA := in.Power.PAct[cf.Freq]
+		pstall, okS := in.Power.PStall[cf.Freq]
+		m.byCores[cf.Cores] = append(m.byCores[cf.Cores], cfPoint{
+			freq: cf.Freq, bp: bp, pAct: pact, pStall: pstall, hasPower: okA && okS,
+		})
+		m.haveCFs = append(m.haveCFs, cf)
+	}
+	for _, pts := range m.byCores {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].freq < pts[j].freq })
+	}
+	sort.Slice(m.haveCFs, func(i, j int) bool {
+		if m.haveCFs[i].Cores != m.haveCFs[j].Cores {
+			return m.haveCFs[i].Cores < m.haveCFs[j].Cores
+		}
+		return m.haveCFs[i].Freq < m.haveCFs[j].Freq
+	})
+	return m
+}
+
+// lookup resolves the (cores, freq) table entry, nil when the point was
+// never characterised.
+func (m *Model) lookup(cores int, freq float64) *cfPoint {
+	if cores >= len(m.byCores) {
+		return nil
+	}
+	pts := m.byCores[cores]
+	for i := range pts {
+		if pts[i].freq == freq {
+			return &pts[i]
+		}
+	}
+	return nil
 }
 
 // Inputs returns a copy of the model's inputs.
@@ -183,10 +289,16 @@ func (m *Model) Inputs() Inputs { return m.in }
 func (m *Model) Options() Options { return m.opt }
 
 // WithOptions derives a model sharing the same inputs under different
-// analysis options (the Sec. V.B what-if mechanism).
-func (m *Model) WithOptions(opt Options) *Model {
+// analysis options (the Sec. V.B what-if mechanism). It rejects options
+// outside their domain (e.g. MaxNetUtilization >= 1). The derived model
+// has its own communication-moment memo, since NetBandwidthScale changes
+// the per-message service times the moments are built from.
+func (m *Model) WithOptions(opt Options) (*Model, error) {
 	opt.fill()
-	return &Model{in: m.in, opt: opt}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	return build(m.in, opt), nil
 }
 
 // MissingBaselineError reports a prediction request at a (c,f) point that
@@ -231,76 +343,128 @@ type Prediction struct {
 
 // Predict evaluates the model at cfg for a target input of S iterations.
 func (m *Model) Predict(cfg machine.Config, S int) (Prediction, error) {
-	if S < 1 {
-		return Prediction{}, fmt.Errorf("core: S must be >= 1")
+	var p Prediction
+	if err := m.PredictInto(&p, cfg, S); err != nil {
+		return Prediction{}, err
 	}
-	if cfg.Nodes < 1 || cfg.Cores < 1 || cfg.Freq <= 0 {
-		return Prediction{}, fmt.Errorf("core: invalid config %v", cfg)
-	}
-	cf := machine.CF{Cores: cfg.Cores, Freq: cfg.Freq}
-	bp, ok := m.in.Baseline[cf]
-	if !ok {
-		var have []machine.CF
-		for k := range m.in.Baseline {
-			have = append(have, k)
-		}
-		sort.Slice(have, func(i, j int) bool {
-			if have[i].Cores != have[j].Cores {
-				return have[i].Cores < have[j].Cores
-			}
-			return have[i].Freq < have[j].Freq
-		})
-		return Prediction{}, &MissingBaselineError{Point: cf, Have: have}
-	}
-
-	scale := float64(S) / float64(m.in.BaselineIters)
-	w := bp.W * scale
-	b := bp.B * scale
-	mem := bp.M * scale / m.opt.MemBandwidthScale
-
-	ncf := float64(cfg.Nodes) * float64(cfg.Cores) * cfg.Freq
-	p := Prediction{Cfg: cfg, S: S, Converged: true}
-	p.TCPU = (w + b) / ncf // Eqs 2-4
-	p.TMem = mem / ncf     // Eq. 7 (clarified scaling)
-
-	if cfg.Nodes > 1 && m.in.Comm != nil {
-		m.predictNetwork(&p, bp.U, S)
-	}
-	p.T = p.TCPU + p.TwNet + p.TsNet + p.TMem
-	if p.T > 0 {
-		p.UCR = p.TCPU / p.T // Eq. 13
-	}
-
-	pact, okA := m.in.Power.PAct[cfg.Freq]
-	pstall, okS := m.in.Power.PStall[cfg.Freq]
-	if !okA || !okS {
-		return Prediction{}, fmt.Errorf("core: no power characterisation at %.2f GHz", cfg.GHz())
-	}
-	nodes := float64(cfg.Nodes)
-	cores := float64(cfg.Cores)
-	p.ECPU = (pact*p.TCPU + pstall*p.TMem) * cores * nodes // Eq. 9
-	p.EMem = m.in.Power.PMem * p.TMem * nodes              // Eq. 10
-	p.ENet = m.in.Power.PNet * (p.TwNet + p.TsNet) * nodes // Eq. 11
-	p.EIdle = m.in.Power.PSysIdle * p.T * nodes            // Eq. 12
-	p.E = p.ECPU + p.EMem + p.ENet + p.EIdle               // Eq. 8
 	return p, nil
 }
 
-// predictNetwork fills the communication terms of p: the per-run message
-// mix, Eq. 6's non-overlapped service and Eq. 5's queueing delay at the
-// fixed point of λ(T).
-func (m *Model) predictNetwork(p *Prediction, U float64, S int) {
-	classes := m.in.Comm.Classes(p.Cfg.Nodes)
+// PredictInto evaluates the model at cfg directly into *dst, which is
+// fully overwritten (zeroed on error). It is the allocation- and
+// copy-free core of the sweep engine: internal/pareto writes each result
+// straight into its output slice instead of moving ~200-byte Prediction
+// values through return-value copies.
+func (m *Model) PredictInto(dst *Prediction, cfg machine.Config, S int) error {
+	*dst = Prediction{}
+	if S < 1 {
+		return fmt.Errorf("core: S must be >= 1")
+	}
+	if cfg.Nodes < 1 || cfg.Cores < 1 || cfg.Freq <= 0 {
+		return fmt.Errorf("core: invalid config %v", cfg)
+	}
+	pt := m.lookup(cfg.Cores, cfg.Freq)
+	if pt == nil {
+		return &MissingBaselineError{Point: machine.CF{Cores: cfg.Cores, Freq: cfg.Freq}, Have: m.haveCFs}
+	}
+
+	scale := float64(S) / float64(m.in.BaselineIters)
+	w := pt.bp.W * scale
+	b := pt.bp.B * scale
+	mem := pt.bp.M * scale / m.opt.MemBandwidthScale
+
+	ncf := float64(cfg.Nodes) * float64(cfg.Cores) * cfg.Freq
+	dst.Cfg = cfg
+	dst.S = S
+	dst.Converged = true
+	dst.TCPU = (w + b) / ncf // Eqs 2-4
+	dst.TMem = mem / ncf     // Eq. 7 (clarified scaling)
+
+	if cfg.Nodes > 1 && m.in.Comm != nil {
+		m.predictNetwork(dst, pt.bp.U, S)
+	}
+	dst.T = dst.TCPU + dst.TwNet + dst.TsNet + dst.TMem
+	if dst.T > 0 {
+		dst.UCR = dst.TCPU / dst.T // Eq. 13
+	}
+
+	if !pt.hasPower {
+		*dst = Prediction{}
+		return fmt.Errorf("core: no power characterisation at %.2f GHz", cfg.GHz())
+	}
+	nodes := float64(cfg.Nodes)
+	cores := float64(cfg.Cores)
+	dst.ECPU = (pt.pAct*dst.TCPU + pt.pStall*dst.TMem) * cores * nodes // Eq. 9
+	dst.EMem = m.in.Power.PMem * dst.TMem * nodes                      // Eq. 10
+	dst.ENet = m.in.Power.PNet * (dst.TwNet + dst.TsNet) * nodes       // Eq. 11
+	dst.EIdle = m.in.Power.PSysIdle * dst.T * nodes                    // Eq. 12
+	dst.E = dst.ECPU + dst.EMem + dst.ENet + dst.EIdle                 // Eq. 8
+	return nil
+}
+
+// commMoments is the per-node-count reduction of the message-class list:
+// everything predictNetwork needs that depends only on n (and the model's
+// fixed network options), computed once per n and memoised. Sweeping a
+// configuration space re-uses one reduction across every (c, f) at the
+// same node count — the amortisation that makes full-space exploration
+// allocation-light.
+type commMoments struct {
+	msgs      float64 // messages per rank per iteration, all classes
+	nu        float64 // ν: mean message volume [B]
+	async     float64 // asynchronous messages per rank per iteration
+	yMean     float64 // mean async service time [s]
+	y2        float64 // second moment of async service time [s²]
+	wire      float64 // async wire time per rank per iteration [s]
+	syncDrain float64 // synchronised-round drain per iteration [s], incl. port share
+	busy      float64 // switch busy time per iteration [s], incl. port share
+	portShare float64 // nodes whose traffic serialises at one server
+}
+
+// momentsFor returns the memoised communication moments at n, computing
+// and caching them on first use. A nil return means the program exchanges
+// no messages at n. Concurrent racers compute identical values (Classes
+// is a pure function of n), so the CAS loop only protects the slice
+// structure, never the contents.
+func (m *Model) momentsFor(n int) *commMoments {
+	if s := m.moments.Load(); s != nil && n < len(*s) && (*s)[n].computed {
+		return (*s)[n].cm
+	}
+	cm := m.reduceClasses(n)
+	for {
+		old := m.moments.Load()
+		var cur []momentSlot
+		if old != nil {
+			cur = *old
+		}
+		if n < len(cur) && cur[n].computed {
+			return cur[n].cm
+		}
+		size := len(cur)
+		if n >= size {
+			size = n + 1
+		}
+		next := make([]momentSlot, size)
+		copy(next, cur)
+		next[n] = momentSlot{computed: true, cm: cm}
+		if m.moments.CompareAndSwap(old, &next) {
+			return cm
+		}
+	}
+}
+
+// reduceClasses folds the message-class list at n into its moments. The
+// accumulation order matches the original per-Predict loop bit for bit.
+func (m *Model) reduceClasses(n int) *commMoments {
+	classes := m.in.Comm.Classes(n)
 	if len(classes) == 0 {
-		return
+		return nil
 	}
 	peak := m.in.Net.Peak * m.opt.NetBandwidthScale
 	net := NetModel{Overhead: m.in.Net.Overhead, Peak: peak}
 
-	n := float64(p.Cfg.Nodes)
 	// portShare is how many nodes' traffic serialises at one server: all
 	// n on the shared medium, only this node's on a crossbar port.
-	portShare := n
+	portShare := float64(n)
 	if m.in.NetTopology == machine.TopologyCrossbar {
 		portShare = 1
 	}
@@ -328,26 +492,49 @@ func (m *Model) predictNetwork(p *Prediction, U float64, S int) {
 		wirePerIter += cnt * mc.Bytes / peak
 	}
 	if msgsPerIter == 0 {
+		return nil
+	}
+	cm := &commMoments{
+		msgs:      msgsPerIter,
+		nu:        bytesPerIter / msgsPerIter,
+		async:     asyncMsgs,
+		wire:      wirePerIter,
+		syncDrain: syncPerIter,
+		busy:      busyPerIter,
+		portShare: portShare,
+	}
+	if asyncMsgs > 0 {
+		cm.yMean = yMean / asyncMsgs
+		cm.y2 = y2 / asyncMsgs
+	}
+	return cm
+}
+
+// predictNetwork fills the communication terms of p: the per-run message
+// mix, Eq. 6's non-overlapped service and Eq. 5's queueing delay at the
+// fixed point of λ(T).
+func (m *Model) predictNetwork(p *Prediction, U float64, S int) {
+	cm := m.momentsFor(p.Cfg.Nodes)
+	if cm == nil {
 		return
 	}
 	S64 := float64(S)
-	eta := msgsPerIter * S64 // η per rank over the run
-	p.Eta = eta
-	p.Nu = bytesPerIter / msgsPerIter
+	p.Eta = cm.msgs * S64 // η per rank over the run
+	p.Nu = cm.nu
 
 	// Eq. 6: asynchronous communication overlaps with the CPU idle gap
 	// observed at baseline; the non-overlapped service is the larger of
 	// the idle gap and the wire time. Synchronised rounds cannot overlap
 	// — their drain is added in full.
 	idleGap := (1 - U) * p.TCPU
-	p.TsNet = math.Max(idleGap, wirePerIter*S64) + syncPerIter*S64
+	p.TsNet = math.Max(idleGap, cm.wire*S64) + cm.syncDrain*S64
 
 	base := p.TCPU + p.TMem + p.TsNet
 	// The switch must be busy busyPerIter*S in total; a closed system
 	// cannot finish sooner (self-throttling bound).
-	satBound := busyPerIter * S64
+	satBound := cm.busy * S64
 
-	if asyncMsgs == 0 {
+	if cm.async == 0 {
 		// Only synchronised traffic: the drain is already exact.
 		if satBound > base {
 			p.TwNet = satBound - base
@@ -357,24 +544,37 @@ func (m *Model) predictNetwork(p *Prediction, U float64, S int) {
 		}
 		return
 	}
-	yMean /= asyncMsgs
-	y2 /= asyncMsgs
-	etaAsync := asyncMsgs * S64
+	etaAsync := cm.async * S64
+	lambdaNum := cm.portShare * etaAsync // λ(T) = lambdaNum / T
 
-	// Eq. 5 with λ = n*η/T resolved by fixed-point iteration: every rank
-	// contributes its asynchronous messages to the shared switch.
-	f := func(t float64) float64 {
-		if t <= 0 {
-			t = base
+	// Eq. 5 with λ = n*η/T: every rank contributes its asynchronous
+	// messages to the shared switch. Substituting the P-K wait
+	// W(λ) = λ·E[Y²]/(2(1−λ·E[Y])) into T = base + η_a·W(λ(T)) gives
+	//
+	//	(T − base)(T − a) = η_a·Λ·E[Y²]/2 =: C,  a = Λ·E[Y],
+	//
+	// a quadratic whose larger root is the fixed point — solved in closed
+	// form instead of iterating, which is what makes a full-space sweep
+	// cheap. The closed form is the attracting fixed point only where
+	// |f'(T*)| = C/(T*−a)² < 1; outside that region (deep saturation) the
+	// legacy clamped iteration reproduces the historical trajectory, whose
+	// end state the ρ-clamp below routes to the capacity bound.
+	aBusy := lambdaNum * cm.yMean
+	C := etaAsync * lambdaNum * cm.y2 / 2
+	var t float64
+	if C == 0 {
+		t = base // zero service variance: no queueing delay
+	} else {
+		d := base - aBusy
+		t = ((base + aBusy) + math.Sqrt(d*d+4*C)) / 2
+		if deriv := C / ((t - aBusy) * (t - aBusy)); deriv >= 1 {
+			var ok bool
+			t, ok = queueing.FixedPoint(m.legacyWaitMap(base, etaAsync, lambdaNum, cm), base, 1e-10, 200)
+			p.Converged = ok
 		}
-		lambda := portShare * etaAsync / t
-		waitPerMsg, _ := queueing.ClampedMG1Wait(lambda, yMean, y2, m.opt.MaxNetUtilization)
-		return base + etaAsync*waitPerMsg
 	}
-	t, ok := queueing.FixedPoint(f, base, 1e-10, 200)
-	p.Converged = ok
-	lambda := portShare * etaAsync / t
-	rawRho := queueing.Utilization(lambda, yMean)
+	lambda := lambdaNum / t
+	rawRho := queueing.Utilization(lambda, cm.yMean)
 	if rawRho > m.opt.MaxNetUtilization {
 		// Saturated regime: the open-loop M/G/1 form no longer applies —
 		// the run is bounded by the switch's total busy time and
@@ -384,12 +584,24 @@ func (m *Model) predictNetwork(p *Prediction, U float64, S int) {
 		p.NetRho = 1
 		return
 	}
-	waitPerMsg, rho := queueing.ClampedMG1Wait(lambda, yMean, y2, m.opt.MaxNetUtilization)
+	waitPerMsg, rho := queueing.ClampedMG1Wait(lambda, cm.yMean, cm.y2, m.opt.MaxNetUtilization)
 	p.TwNet = etaAsync * waitPerMsg
 	if base+p.TwNet < satBound {
 		p.TwNet = satBound - base
 	}
 	p.NetRho = rho
+}
+
+// legacyWaitMap is the pre-closed-form fixed-point map T ↦ base + η_a·W,
+// kept for the divergent-oscillation regime near and beyond saturation.
+func (m *Model) legacyWaitMap(base, etaAsync, lambdaNum float64, cm *commMoments) func(float64) float64 {
+	return func(t float64) float64 {
+		if t <= 0 {
+			t = base
+		}
+		waitPerMsg, _ := queueing.ClampedMG1Wait(lambdaNum/t, cm.yMean, cm.y2, m.opt.MaxNetUtilization)
+		return base + etaAsync*waitPerMsg
+	}
 }
 
 // PredictAll evaluates the model over a configuration list, skipping none:

@@ -39,6 +39,15 @@ func mustModel(t *testing.T, in Inputs, opt *Options) *Model {
 	return m
 }
 
+func mustWithOptions(t *testing.T, m *Model, opt Options) *Model {
+	t.Helper()
+	derived, err := m.WithOptions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return derived
+}
+
 func approx(t *testing.T, name string, got, want, tol float64) {
 	t.Helper()
 	if math.Abs(got-want) > tol {
@@ -212,7 +221,7 @@ func TestWhatIfMemoryBandwidth(t *testing.T) {
 	m := mustModel(t, synthInputs(nil), nil)
 	cfg := machine.Config{Nodes: 1, Cores: 2, Freq: 1e9}
 	base, _ := m.Predict(cfg, 10)
-	faster, err := m.WithOptions(Options{MemBandwidthScale: 2}).Predict(cfg, 10)
+	faster, err := mustWithOptions(t, m, Options{MemBandwidthScale: 2}).Predict(cfg, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +243,7 @@ func TestWhatIfNetworkBandwidth(t *testing.T) {
 	m := mustModel(t, synthInputs(comm), nil)
 	cfg := machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}
 	base, _ := m.Predict(cfg, 20)
-	faster, err := m.WithOptions(Options{NetBandwidthScale: 4}).Predict(cfg, 20)
+	faster, err := mustWithOptions(t, m, Options{NetBandwidthScale: 4}).Predict(cfg, 20)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridperf/internal/machine"
+)
+
+// TestMomentsMemoisedPredictionsStable checks that warming the per-n
+// moment cache does not change predictions: a fresh model and a model
+// that has already predicted the same configurations agree bit for bit.
+func TestMomentsMemoisedPredictionsStable(t *testing.T) {
+	comm := StaticComm{{Count: 3, Bytes: 2e6}, {Count: 40, Bytes: 8e3}}
+	warm := mustModel(t, synthInputs(comm), nil)
+	cfgs := []machine.Config{
+		{Nodes: 2, Cores: 2, Freq: 1e9},
+		{Nodes: 4, Cores: 2, Freq: 1e9},
+		{Nodes: 8, Cores: 2, Freq: 1e9},
+	}
+	// First pass fills the memo, second pass reads it.
+	first := make([]Prediction, len(cfgs))
+	for i, cfg := range cfgs {
+		p, err := warm.Predict(cfg, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = p
+	}
+	for i, cfg := range cfgs {
+		p, err := warm.Predict(cfg, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != first[i] {
+			t.Fatalf("warm predict differs at %v: %+v vs %+v", cfg, p, first[i])
+		}
+		cold := mustModel(t, synthInputs(comm), nil)
+		cp, err := cold.Predict(cfg, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp != first[i] {
+			t.Fatalf("cold model differs at %v: %+v vs %+v", cfg, cp, first[i])
+		}
+	}
+}
+
+// TestWithOptionsInvalidatesMoments verifies the cache invalidation rule:
+// NetBandwidthScale feeds the per-n moments, so a derived model must not
+// reuse the parent's memo. The derived model has to agree with a model
+// built from scratch with the same options, even after the parent's memo
+// was warmed at the same node counts.
+func TestWithOptionsInvalidatesMoments(t *testing.T) {
+	comm := StaticComm{{Count: 3, Bytes: 2e6}}
+	base := mustModel(t, synthInputs(comm), nil)
+	cfg := machine.Config{Nodes: 4, Cores: 2, Freq: 1e9}
+	pBase, err := base.Predict(cfg, 20) // warm the memo at n=4
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := mustWithOptions(t, base, Options{NetBandwidthScale: 4})
+	pDerived, err := derived.Predict(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pDerived.TwNet+pDerived.TsNet >= pBase.TwNet+pBase.TsNet {
+		t.Fatalf("4x network bandwidth did not cut network time: %+v vs %+v", pDerived, pBase)
+	}
+	opt := Options{NetBandwidthScale: 4}
+	fresh, err := New(synthInputs(comm), &opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFresh, err := fresh.Predict(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pDerived != pFresh {
+		t.Fatalf("derived model reused stale moments: %+v vs fresh %+v", pDerived, pFresh)
+	}
+}
+
+// TestMaxNetUtilizationValidation: values in [1, inf) used to be silently
+// coerced to the 0.98 default; they must now be rejected by both New and
+// WithOptions.
+func TestMaxNetUtilizationValidation(t *testing.T) {
+	for _, bad := range []float64{1, 1.5, 100} {
+		opt := Options{MaxNetUtilization: bad}
+		if _, err := New(synthInputs(nil), &opt); err == nil {
+			t.Errorf("New accepted MaxNetUtilization = %g", bad)
+		} else if !strings.Contains(err.Error(), "MaxNetUtilization") {
+			t.Errorf("MaxNetUtilization = %g: unhelpful error %v", bad, err)
+		}
+	}
+	m := mustModel(t, synthInputs(nil), nil)
+	if _, err := m.WithOptions(Options{MaxNetUtilization: 1}); err == nil {
+		t.Error("WithOptions accepted MaxNetUtilization = 1")
+	}
+	// The open interval (0, 1) stays valid, and <= 0 still means default.
+	opt := Options{MaxNetUtilization: 0.5}
+	if _, err := New(synthInputs(nil), &opt); err != nil {
+		t.Errorf("MaxNetUtilization = 0.5 rejected: %v", err)
+	}
+	if _, err := m.WithOptions(Options{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
+// TestConcurrentPredictRace hammers one model from many goroutines across
+// overlapping node counts so `go test -race` exercises the moment memo's
+// concurrent fill path. All results must match a serial evaluation.
+func TestConcurrentPredictRace(t *testing.T) {
+	comm := StaticComm{{Count: 5, Bytes: 1e6}}
+	m := mustModel(t, synthInputs(comm), nil)
+	var cfgs []machine.Config
+	for n := 1; n <= 16; n++ {
+		cfgs = append(cfgs, machine.Config{Nodes: n, Cores: 2, Freq: 1e9})
+	}
+	want := make([]Prediction, len(cfgs))
+	serial := mustModel(t, synthInputs(comm), nil)
+	for i, cfg := range cfgs {
+		p, err := serial.Predict(cfg, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				for i, cfg := range cfgs {
+					p, err := m.Predict(cfg, 20)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if p != want[i] {
+						t.Errorf("goroutine %d: %v differs from serial", g, cfg)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

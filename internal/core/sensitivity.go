@@ -67,7 +67,7 @@ func (m *Model) perturbed(input string, factor float64) (*Model, error) {
 	case "net-bandwidth":
 		opt := m.opt
 		opt.NetBandwidthScale *= factor
-		return &Model{in: in, opt: opt}, nil
+		return build(in, opt), nil
 	case "msg-volume":
 		if in.Comm != nil {
 			in.Comm = scaledComm{inner: m.in.Comm, scale: factor}
@@ -79,7 +79,7 @@ func (m *Model) perturbed(input string, factor float64) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown sensitivity input %q (want one of %v)", input, sensitivityInputs)
 	}
-	return &Model{in: in, opt: m.opt}, nil
+	return build(in, m.opt), nil
 }
 
 func scaleBaseline(src map[machine.CF]BaselinePoint, f func(*BaselinePoint)) map[machine.CF]BaselinePoint {

@@ -73,7 +73,7 @@ func TestSensitivityMatchesWhatIf(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, _ := pm.Predict(cfg, 10)
-	b, err := m.WithOptions(Options{MemBandwidthScale: 2}).Predict(cfg, 10)
+	b, err := mustWithOptions(t, m, Options{MemBandwidthScale: 2}).Predict(cfg, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -155,7 +156,9 @@ func Run(req Request) (*Result, error) {
 
 // Sweep runs the requests concurrently on up to `workers` goroutines
 // (each simulation has its own kernel, so runs are independent) and
-// returns results in request order. The first error aborts pending work.
+// returns results in request order. Every request is attempted; a failing
+// sweep reports all failures, one per failing request index, aggregated
+// with errors.Join in request order.
 func Sweep(reqs []Request, workers int) ([]*Result, error) {
 	if workers < 1 {
 		workers = 1
@@ -178,10 +181,14 @@ func Sweep(reqs []Request, workers int) ([]*Result, error) {
 	}
 	close(idx)
 	wg.Wait()
+	var failed []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("exec: sweep request %d: %w", i, err)
+			failed = append(failed, fmt.Errorf("exec: sweep request %d: %w", i, err))
 		}
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
 	}
 	return results, nil
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"hybridperf/internal/dvfs"
@@ -232,6 +233,25 @@ func TestSweepPropagatesErrors(t *testing.T) {
 	bad := xeonReq(machine.Config{Nodes: 0, Cores: 1, Freq: 1.2e9})
 	if _, err := Sweep([]Request{good, bad}, 2); err == nil {
 		t.Fatal("sweep swallowed an error")
+	}
+}
+
+func TestSweepReportsEveryFailure(t *testing.T) {
+	good := xeonReq(machine.Config{Nodes: 1, Cores: 1, Freq: 1.2e9})
+	badNodes := xeonReq(machine.Config{Nodes: 0, Cores: 1, Freq: 1.2e9})
+	badFreq := xeonReq(machine.Config{Nodes: 1, Cores: 1, Freq: 1.0e9})
+	_, err := Sweep([]Request{badNodes, good, badFreq}, 2)
+	if err == nil {
+		t.Fatal("sweep swallowed both errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"request 0", "request 2"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregate error omits %q: %v", want, err)
+		}
+	}
+	if strings.Contains(msg, "request 1") {
+		t.Errorf("aggregate error blames the good request: %v", err)
 	}
 }
 

@@ -19,7 +19,7 @@ func (r *Runner) paretoFigure(id, title string, prof *machine.Profile, spec *wor
 	}
 	S := r.iterations(spec)
 	cfgs := pareto.Space(nodes, prof.CoresPerNode, prof.Frequencies)
-	points, err := pareto.Evaluate(model, cfgs, S)
+	points, err := pareto.EvaluateParallel(model, cfgs, S, r.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"hybridperf/internal/core"
 	"hybridperf/internal/machine"
+	"hybridperf/internal/pareto"
 	"hybridperf/internal/textplot"
 	"hybridperf/internal/workload"
 )
@@ -51,9 +52,13 @@ func (r *Runner) ucrFigure(id, title string, prof *machine.Profile) (*Artifact, 
 			return nil, err
 		}
 		S := r.iterations(spec)
-		ps, err := model.PredictAll(cfgs, S)
+		points, err := pareto.EvaluateParallel(model, cfgs, S, r.cfg.Workers)
 		if err != nil {
 			return nil, err
+		}
+		ps := make([]core.Prediction, len(points))
+		for i, p := range points {
+			ps[i] = p.Pred
 		}
 		preds[spec.Name] = ps
 	}
@@ -116,7 +121,11 @@ func (r *Runner) WhatIf() (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	doubled, err := model.WithOptions(core.Options{MemBandwidthScale: 2}).Predict(cfg, S)
+	whatIf, err := model.WithOptions(core.Options{MemBandwidthScale: 2})
+	if err != nil {
+		return nil, err
+	}
+	doubled, err := whatIf.Predict(cfg, S)
 	if err != nil {
 		return nil, err
 	}

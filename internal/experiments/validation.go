@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hybridperf/internal/machine"
+	"hybridperf/internal/pareto"
 	"hybridperf/internal/stats"
 	"hybridperf/internal/textplot"
 	"hybridperf/internal/workload"
@@ -30,12 +31,13 @@ func (r *Runner) validate(prof *machine.Profile, spec *workload.Spec, cfgs []mac
 		return nil, err
 	}
 	S := r.iterations(spec)
+	points, err := pareto.EvaluateParallel(model, cfgs, S, r.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	s := &series{cfgs: cfgs}
 	for i, cfg := range cfgs {
-		pred, err := model.Predict(cfg, S)
-		if err != nil {
-			return nil, err
-		}
+		pred := points[i].Pred
 		meas := results[i]
 		s.measT = append(s.measT, meas.Time)
 		s.predT = append(s.predT, pred.T)
@@ -210,12 +212,13 @@ func (r *Runner) Fig7() (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	points, err := pareto.EvaluateParallel(model, cfgs, S, r.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	var measT, predT, measE, predE []float64
-	for i, cfg := range cfgs {
-		pred, err := model.Predict(cfg, S)
-		if err != nil {
-			return nil, err
-		}
+	for i := range cfgs {
+		pred := points[i].Pred
 		measT = append(measT, results[i].Time)
 		predT = append(predT, pred.T)
 		measE = append(measE, results[i].MeasuredEnergy/1e3)

@@ -5,8 +5,12 @@
 package pareto
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"hybridperf/internal/core"
 	"hybridperf/internal/machine"
@@ -54,15 +58,79 @@ func Space(nodes []int, maxCores int, freqs []float64) []machine.Config {
 }
 
 // Evaluate predicts every configuration in the space for a target input of
-// S iterations.
+// S iterations. Predictions are written in place (PredictInto), so the
+// only allocation is the output slice itself.
 func Evaluate(m *core.Model, cfgs []machine.Config, S int) ([]Point, error) {
-	pts := make([]Point, 0, len(cfgs))
-	for _, cfg := range cfgs {
-		pred, err := m.Predict(cfg, S)
-		if err != nil {
+	pts := make([]Point, len(cfgs))
+	for i, cfg := range cfgs {
+		pts[i].Cfg = cfg
+		if err := m.PredictInto(&pts[i].Pred, cfg, S); err != nil {
 			return nil, fmt.Errorf("pareto: %v: %w", cfg, err)
 		}
-		pts = append(pts, Point{Cfg: cfg, Pred: pred})
+	}
+	return pts, nil
+}
+
+// EvaluateParallel is the sweep engine behind every full-space query: it
+// predicts the configurations on up to `workers` goroutines (workers < 1
+// means GOMAXPROCS) and returns points in cfgs order. The model memoises
+// its per-node-count communication moments, so concurrent workers share
+// one reduction per n instead of re-deriving it per configuration.
+//
+// The space is sharded into contiguous chunks, one per worker; each shard
+// stops at its first failing configuration, and the shard errors are
+// aggregated with errors.Join in configuration order (the first error in
+// the joined list is the earliest failing index, matching exec.Sweep).
+// On GOMAXPROCS=1 the shards run inline on the calling goroutine —
+// prediction is pure CPU work, so extra goroutines would only add
+// scheduling overhead — with the shard structure, error semantics and
+// output unchanged. For every worker count the returned slice is
+// bit-identical to serial Evaluate: results are written by index with the
+// same per-point code.
+func EvaluateParallel(m *core.Model, cfgs []machine.Config, S, workers int) ([]Point, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		return Evaluate(m, cfgs, S)
+	}
+	pts := make([]Point, len(cfgs))
+	shardErrs := make([]error, workers)
+	chunk := (len(cfgs) + workers - 1) / workers
+	runShard := func(w int) {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		for i := lo; i < hi; i++ {
+			pts[i].Cfg = cfgs[i]
+			if err := m.PredictInto(&pts[i].Pred, cfgs[i], S); err != nil {
+				shardErrs[w] = fmt.Errorf("pareto: %v: %w", cfgs[i], err)
+				return
+			}
+		}
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				runShard(w)
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for w := 0; w < workers; w++ {
+			runShard(w)
+		}
+	}
+	if err := errors.Join(shardErrs...); err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
@@ -78,12 +146,21 @@ func Dominates(a, b core.Prediction) bool {
 
 // Frontier returns the Pareto-optimal subset of points, sorted by
 // increasing execution time (and thus decreasing energy). Duplicate
-// objective values keep a single representative.
+// objective values keep a single representative. Points with a NaN
+// objective are dropped up front: NaN comparisons are always false, so a
+// single poisoned prediction would otherwise corrupt the sort order and
+// with it the whole frontier.
 func Frontier(points []Point) []Point {
-	if len(points) == 0 {
+	sorted := make([]Point, 0, len(points))
+	for _, p := range points {
+		if math.IsNaN(p.Pred.T) || math.IsNaN(p.Pred.E) {
+			continue
+		}
+		sorted = append(sorted, p)
+	}
+	if len(sorted) == 0 {
 		return nil
 	}
-	sorted := append([]Point(nil), points...)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Pred.T != sorted[j].Pred.T {
 			return sorted[i].Pred.T < sorted[j].Pred.T

@@ -1,7 +1,10 @@
 package pareto
 
 import (
+	"errors"
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"hybridperf/internal/core"
@@ -236,6 +239,128 @@ func TestEvaluate(t *testing.T) {
 	cfgs = append(cfgs, machine.Config{Nodes: 1, Cores: 2, Freq: 1e9})
 	if _, err := Evaluate(m, cfgs, 10); err == nil {
 		t.Fatal("Evaluate swallowed an error")
+	}
+}
+
+func TestFrontierDuplicateObjectives(t *testing.T) {
+	// Four copies of the same (T,E) point plus one dominated point: the
+	// frontier keeps exactly one representative of the duplicate group.
+	pts := mkPoints([][2]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}, {6, 6}})
+	front := Frontier(pts)
+	if len(front) != 1 || front[0].Pred.T != 5 || front[0].Pred.E != 5 {
+		t.Fatalf("duplicate-point frontier = %+v, want single (5,5)", front)
+	}
+}
+
+func TestFrontierIgnoresNaN(t *testing.T) {
+	nan := math.NaN()
+	pts := mkPoints([][2]float64{
+		{10, 5},
+		{nan, 1}, // would sort anywhere: NaN comparisons are always false
+		{5, 8},
+		{1, nan},
+		{2, 20},
+		{nan, nan},
+	})
+	front := Frontier(pts)
+	if len(front) != 3 {
+		t.Fatalf("frontier size %d with NaN points present, want 3: %+v", len(front), front)
+	}
+	for i, p := range front {
+		if math.IsNaN(p.Pred.T) || math.IsNaN(p.Pred.E) {
+			t.Fatalf("NaN point %d survived onto the frontier: %+v", i, p.Pred)
+		}
+		if i > 0 && front[i].Pred.T <= front[i-1].Pred.T {
+			t.Fatal("NaN points corrupted the frontier sort order")
+		}
+	}
+	// All-NaN input degenerates to an empty frontier, not a crash.
+	if f := Frontier(mkPoints([][2]float64{{nan, 1}, {2, nan}})); f != nil {
+		t.Fatalf("all-NaN frontier = %+v, want nil", f)
+	}
+}
+
+// commModel returns a model with real network traffic so EvaluateParallel
+// exercises the memoised communication moments across node counts.
+func commModel(t *testing.T) *core.Model {
+	t.Helper()
+	in := core.Inputs{
+		BaselineIters: 10,
+		Baseline: map[machine.CF]core.BaselinePoint{
+			{Cores: 1, Freq: 1e9}: {W: 1e10, B: 1e9, M: 1e9, U: 0.9},
+			{Cores: 2, Freq: 1e9}: {W: 1e10, B: 2e9, M: 1e9, U: 0.9},
+			{Cores: 1, Freq: 2e9}: {W: 1e10, B: 1e9, M: 1e9, U: 0.9},
+			{Cores: 2, Freq: 2e9}: {W: 1e10, B: 2e9, M: 1e9, U: 0.9},
+		},
+		Comm: core.StaticComm{{Count: 4, Bytes: 1e6}, {Count: 30, Bytes: 4e3}},
+		Net:  core.NetModel{Overhead: 5e-5, Peak: 1e8},
+		Power: core.PowerModel{
+			PAct:     map[float64]float64{1e9: 5, 2e9: 9},
+			PStall:   map[float64]float64{1e9: 3, 2e9: 4},
+			PMem:     2,
+			PNet:     1,
+			PSysIdle: 10,
+		},
+	}
+	m, err := core.New(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestEvaluateParallelMatchesSerial is the sweep engine's core contract:
+// for any worker count the parallel evaluation returns a point slice
+// bit-identical to serial Evaluate, in cfgs order.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	m := commModel(t)
+	cfgs := Space(Range(1, 12), 2, []float64{1e9, 2e9})
+	want, err := Evaluate(m, cfgs, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 7, 8, len(cfgs), len(cfgs) + 5} {
+		got, err := EvaluateParallel(m, cfgs, 25, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: point %d differs: %+v vs %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelAggregatesErrors plants failing configurations in
+// different shards and checks that every shard's failure is reported, with
+// the earliest failing configuration first.
+func TestEvaluateParallelAggregatesErrors(t *testing.T) {
+	m := commModel(t)
+	good := machine.Config{Nodes: 1, Cores: 1, Freq: 1e9}
+	bad := machine.Config{Nodes: 1, Cores: 9, Freq: 1e9} // no baseline point
+	cfgs := []machine.Config{good, bad, good, bad}
+	_, err := EvaluateParallel(m, cfgs, 10, 2) // shards [0,1] and [2,3]
+	if err == nil {
+		t.Fatal("missing baseline swallowed")
+	}
+	msg := err.Error()
+	if n := strings.Count(msg, "(1,9,1.0)"); n != 2 {
+		t.Fatalf("error mentions the failing configuration %d times, want one per shard: %v", n, err)
+	}
+	// Single failing configuration: the joined error unwraps to it.
+	_, err = EvaluateParallel(m, []machine.Config{good, good, good, bad}, 10, 2)
+	var mbe *core.MissingBaselineError
+	if !errors.As(err, &mbe) {
+		t.Fatalf("error lost the MissingBaselineError cause: %v", err)
+	}
+	// Empty space stays a no-op.
+	pts, err := EvaluateParallel(m, nil, 10, 4)
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("empty space: %v, %v", pts, err)
 	}
 }
 
