@@ -18,7 +18,9 @@ func (c *Cond) Wait(p *Proc) {
 // FIFO order. Processes woken here run after the caller next yields.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
-	c.waiters = nil
+	// Reuse the backing array: woken processes cannot re-Wait until the
+	// caller yields, which is after this loop completes.
+	c.waiters = c.waiters[:0]
 	for _, p := range ws {
 		p.Wake()
 	}

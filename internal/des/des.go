@@ -8,31 +8,58 @@
 // instant exactly one process executes, so process code needs no locking and
 // every run with the same inputs is bit-for-bit reproducible: ties in event
 // time are broken by a monotone sequence number.
+//
+// The event queue is split for speed along the two access patterns the
+// simulator generates:
+//
+//   - future events (Advance with dt > 0) go through a typed 4-ary min-heap
+//     with inlined sift operations — no interface boxing, no per-event
+//     allocation;
+//   - immediate events (Wake, Spawn, Advance(0)) go through a FIFO ring:
+//     they are scheduled at the current instant with monotonically
+//     increasing sequence numbers, so FIFO order *is* (time, seq) order and
+//     they never touch the heap.
+//
+// Dispatch takes the lexicographic minimum of the two queue heads. Control
+// transfers directly from the parking process to the next one dispatched —
+// one goroutine handoff per event instead of a round-trip through a
+// scheduler goroutine — and two fast paths eliminate the handoff entirely:
+//
+//   - Advance lookahead: when no pending event precedes the advancing
+//     process's wake, the clock just moves forward — no event, no handoff;
+//   - self-dispatch: when the next event dispatched belongs to the parking
+//     process itself, park returns immediately.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 )
 
-// errAborted is the panic value injected into processes when the kernel
-// aborts a run (another process failed, or the caller stopped the kernel).
-// It is recovered by the process wrapper; user code never observes it.
+// abortSignal is the panic value injected into processes when the kernel
+// aborts a run (another process failed, the caller stopped the kernel, or
+// Shutdown reaps pooled workers). It is recovered by the process wrapper;
+// user code never observes it.
 type abortSignal struct{}
 
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
-	now    float64
-	events eventHeap
-	seq    uint64
+	now float64
+	seq uint64
 
-	yield   chan struct{} // signalled by the running process when it parks
-	live    int           // processes spawned and not yet finished
-	blocked int           // processes halted with no pending wake event
-	procs   []*Proc
+	heap    []event // future events: 4-ary min-heap on (t, seq)
+	imm     []event // immediate events: FIFO ring, already (t, seq)-sorted
+	immH    int     // imm head index
+	horizon float64 // the active Run's until bound (limits the fast path)
+
+	main       chan struct{} // resume channel of the Run caller
+	live       int           // non-daemon processes spawned and not yet finished
+	busyGo     int           // pooled task runners currently executing a task
+	procs      []*Proc
+	pool       []*Proc // parked pooled task runners (LIFO)
+	dispatched uint64
 
 	failure error // first process panic, if any
 	aborted bool
@@ -40,7 +67,7 @@ type Kernel struct {
 
 // NewKernel returns an empty kernel with the clock at zero.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{main: make(chan struct{})}
 }
 
 // Now reports the current virtual time in seconds.
@@ -49,29 +76,71 @@ func (k *Kernel) Now() float64 { return k.now }
 // Err reports the first process failure observed during Run, or nil.
 func (k *Kernel) Err() error { return k.failure }
 
+// Events reports the number of events dispatched so far (lookahead
+// fast-path advances are not events; they bypass the queue entirely).
+func (k *Kernel) Events() uint64 { return k.dispatched }
+
+// Procs reports the number of process goroutines ever spawned, including
+// daemons and pooled task runners. With persistent worker pools this stays
+// near the process count of the simulated system instead of growing with
+// the event count.
+func (k *Kernel) Procs() int { return len(k.procs) }
+
 type event struct {
 	t   float64
 	seq uint64
 	p   *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// heapPush inserts e into the 4-ary min-heap (sift-up, inlined compare).
+func (k *Kernel) heapPush(e event) {
+	h := append(k.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if h[parent].t < h[i].t || (h[parent].t == h[i].t && h[parent].seq < h[i].seq) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	k.heap = h
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// heapPop removes and returns the minimum event. Callers check emptiness.
+func (k *Kernel) heapPop() event {
+	h := k.heap
+	top := h[0]
+	last := len(h) - 1
+	e := h[last]
+	h = h[:last]
+	k.heap = h
+	if last > 0 {
+		// Sift the former tail down from the root across 4 children:
+		// find the smallest child below e's key, promote it, descend.
+		i := 0
+		for {
+			min := -1
+			minT, minSeq := e.t, e.seq
+			c0 := i<<2 + 1
+			cEnd := c0 + 4
+			if cEnd > last {
+				cEnd = last
+			}
+			for c := c0; c < cEnd; c++ {
+				if h[c].t < minT || (h[c].t == minT && h[c].seq < minSeq) {
+					min, minT, minSeq = c, h[c].t, h[c].seq
+				}
+			}
+			if min < 0 {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = e
+	}
+	return top
 }
 
 // Proc is the handle through which a simulated process interacts with
@@ -84,6 +153,11 @@ type Proc struct {
 	wakeSeq uint64 // sequence of the pending wake event; 0 when halted
 	halted  bool
 	done    bool
+	daemon  bool // excluded from liveness/deadlock accounting
+
+	// Pooled task runner state (see Kernel.Go).
+	task    func(*Proc, any)
+	taskCtx any
 }
 
 // Name returns the label the process was spawned with.
@@ -100,40 +174,124 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // kernel has scheduled it, so fn may freely touch state shared with other
 // simulated processes.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	return k.spawn(name, false, fn)
+}
+
+// SpawnDaemon is Spawn for service processes that outlive the workload they
+// serve: persistent worker-pool threads, pooled couriers. Daemons do not
+// count toward liveness, so a run whose only remaining processes are parked
+// daemons completes instead of reporting a deadlock; their goroutines are
+// reaped by Shutdown (or any abort).
+func (k *Kernel) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	return k.spawn(name, true, fn)
+}
+
+func (k *Kernel) spawn(name string, daemon bool, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, daemon: daemon, resume: make(chan struct{})}
 	k.procs = append(k.procs, p)
-	k.live++
+	if !daemon {
+		k.live++
+	}
 	k.schedule(p, k.now)
 	go func() {
-		<-p.resume // wait for first dispatch
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(abortSignal); !ok && k.failure == nil {
-					k.failure = fmt.Errorf("des: process %q panicked: %v", name, r)
+					k.failure = fmt.Errorf("des: process %q panicked: %v", p.name, r)
 				}
 			}
 			p.done = true
-			k.live--
-			k.yield <- struct{}{}
+			if !p.daemon {
+				k.live--
+			}
+			k.handoff()
 		}()
+		<-p.resume // wait for first dispatch
+		if k.aborted {
+			panic(abortSignal{})
+		}
 		fn(p)
 	}()
 	return p
 }
 
-// schedule enqueues a wake event for p at time t.
+// handoff transfers control from an exiting process to the next dispatched
+// process, or back to the Run caller when nothing is runnable (queue empty,
+// horizon reached, failure recorded, or the kernel is aborting).
+func (k *Kernel) handoff() {
+	if !k.aborted && k.failure == nil {
+		if next := k.dispatchNext(); next != nil {
+			next.resume <- struct{}{}
+			return
+		}
+	}
+	k.main <- struct{}{}
+}
+
+// Go runs fn(p, ctx) as a short-lived simulated process drawn from the
+// kernel's pooled runners: the first calls spawn fresh daemon goroutines,
+// later calls reuse parked ones, so steady-state task dispatch allocates
+// nothing and creates no goroutines. fn must not retain p past its return.
+// The ctx value lets callers pass a reused task struct through a plain
+// function, avoiding a closure allocation per task.
+func (k *Kernel) Go(name string, fn func(*Proc, any), ctx any) {
+	k.busyGo++
+	if n := len(k.pool); n > 0 {
+		p := k.pool[n-1]
+		k.pool = k.pool[:n-1]
+		p.name = name
+		p.task, p.taskCtx = fn, ctx
+		p.Wake()
+		return
+	}
+	p := k.spawn(name, true, func(p *Proc) {
+		for {
+			p.task(p, p.taskCtx)
+			p.task, p.taskCtx = nil, nil
+			p.k.busyGo--
+			p.k.pool = append(p.k.pool, p)
+			p.Halt()
+		}
+	})
+	p.task, p.taskCtx = fn, ctx
+}
+
+// schedule enqueues a wake event for p at time t. Immediate events
+// (t == now — Spawn, Wake, zero Advance) go to the FIFO ring: the clock
+// never moves backwards and sequence numbers are monotone, so appending
+// preserves (t, seq) order without a heap round-trip.
 func (k *Kernel) schedule(p *Proc, t float64) {
 	k.seq++
 	p.wakeSeq = k.seq
-	heap.Push(&k.events, event{t: t, seq: k.seq, p: p})
+	if t <= k.now {
+		if k.immH == len(k.imm) {
+			k.imm = k.imm[:0]
+			k.immH = 0
+		}
+		k.imm = append(k.imm, event{t: t, seq: k.seq, p: p})
+		return
+	}
+	k.heapPush(event{t: t, seq: k.seq, p: p})
 }
 
-// park transfers control from the running process back to the kernel and
-// blocks until the kernel dispatches this process again.
+// park suspends the running process: it dispatches the next pending event
+// itself and hands control directly to that process (or back to the Run
+// caller when nothing is runnable), then blocks until re-dispatched. When
+// the next event belongs to this very process, park returns immediately —
+// no goroutine switch at all.
 func (p *Proc) park() {
-	p.k.yield <- struct{}{}
+	k := p.k
+	next := k.dispatchNext()
+	if next == p {
+		return
+	}
+	if next != nil {
+		next.resume <- struct{}{}
+	} else {
+		k.main <- struct{}{}
+	}
 	<-p.resume
-	if p.k.aborted {
+	if k.aborted {
 		panic(abortSignal{})
 	}
 }
@@ -141,11 +299,26 @@ func (p *Proc) park() {
 // Advance suspends the process for dt seconds of virtual time.
 // Negative or NaN durations are treated as zero (the process yields and is
 // rescheduled at the current instant, after already-pending events).
+//
+// Fast path: when no pending event precedes this process's wake — the FIFO
+// is drained and the heap is empty or strictly later — the kernel would
+// dispatch this same process next, so Advance just moves the clock and
+// returns without parking. Sequence numbers are consumed per *scheduled*
+// event only; skipping the round-trip preserves the relative order of all
+// surviving events, so runs remain bit-for-bit identical.
 func (p *Proc) Advance(dt float64) {
 	if dt < 0 || math.IsNaN(dt) {
 		dt = 0
 	}
-	p.k.schedule(p, p.k.now+dt)
+	k := p.k
+	if k.immH == len(k.imm) && !k.aborted {
+		t := k.now + dt
+		if t <= k.horizon && (len(k.heap) == 0 || k.heap[0].t > t) {
+			k.now = t
+			return
+		}
+	}
+	k.schedule(p, k.now+dt)
 	p.park()
 }
 
@@ -153,7 +326,6 @@ func (p *Proc) Advance(dt float64) {
 func (p *Proc) Halt() {
 	p.halted = true
 	p.wakeSeq = 0
-	p.k.blocked++
 	p.park()
 }
 
@@ -165,7 +337,6 @@ func (p *Proc) Wake() {
 		panic(fmt.Sprintf("des: Wake on non-halted process %q", p.name))
 	}
 	p.halted = false
-	p.k.blocked--
 	p.k.schedule(p, p.k.now)
 }
 
@@ -180,36 +351,118 @@ func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("des: deadlock at t=%g: %d process(es) halted: %v", e.Time, len(e.Procs), e.Procs)
 }
 
-// Run executes events until the event queue is empty, a process fails, or
-// the virtual clock would exceed until (use math.Inf(1) for no horizon).
-// It returns the first process failure, a *DeadlockError if live processes
-// remain halted with nothing scheduled, or nil.
-func (k *Kernel) Run(until float64) error {
-	for k.events.Len() > 0 {
-		ev := heap.Pop(&k.events).(event)
-		if ev.p.done || ev.seq != ev.p.wakeSeq {
-			continue // stale wake (process was rescheduled or finished)
+// next returns the (time, seq)-minimum pending event without removing it.
+func (k *Kernel) next() (event, bool) {
+	immOK := k.immH < len(k.imm)
+	heapOK := len(k.heap) > 0
+	switch {
+	case immOK && heapOK:
+		ie, he := k.imm[k.immH], k.heap[0]
+		if he.t < ie.t || (he.t == ie.t && he.seq < ie.seq) {
+			return he, true
 		}
-		if ev.t > until {
-			// Push back so a later Run can continue from here.
-			heap.Push(&k.events, ev)
+		return ie, true
+	case immOK:
+		return k.imm[k.immH], true
+	case heapOK:
+		return k.heap[0], true
+	}
+	return event{}, false
+}
+
+// pop removes the event peek'd by next (the global minimum).
+func (k *Kernel) pop(e event) {
+	if k.immH < len(k.imm) && k.imm[k.immH].seq == e.seq {
+		k.immH++
+		return
+	}
+	k.heapPop()
+}
+
+// dispatchNext pops stale wakes, then dispatches the (time, seq)-minimum
+// pending event: the clock moves to its time and its process is returned,
+// ready to be resumed. It returns nil when the queue is drained or the head
+// event lies beyond the run horizon (left queued for a later Run). The
+// imm/heap head comparison and the pop are fused so each dispatch touches
+// the queues exactly once.
+func (k *Kernel) dispatchNext() *Proc {
+	for {
+		var ev event
+		fromImm := false
+		immOK := k.immH < len(k.imm)
+		switch {
+		case immOK && len(k.heap) > 0:
+			ie, he := k.imm[k.immH], k.heap[0]
+			if he.t < ie.t || (he.t == ie.t && he.seq < ie.seq) {
+				ev = he
+			} else {
+				ev, fromImm = ie, true
+			}
+		case immOK:
+			ev, fromImm = k.imm[k.immH], true
+		case len(k.heap) > 0:
+			ev = k.heap[0]
+		default:
 			return nil
+		}
+		if ev.p.done || ev.seq != ev.p.wakeSeq {
+			// Stale wake (process was rescheduled or finished).
+			if fromImm {
+				k.immH++
+			} else {
+				k.heapPop()
+			}
+			continue
+		}
+		if ev.t > k.horizon {
+			return nil
+		}
+		if fromImm {
+			k.immH++
+		} else {
+			k.heapPop()
 		}
 		if ev.t > k.now {
 			k.now = ev.t
 		}
 		ev.p.wakeSeq = 0
-		ev.p.resume <- struct{}{}
-		<-k.yield
-		if k.failure != nil {
-			k.abort()
-			return k.failure
-		}
+		k.dispatched++
+		return ev.p
 	}
-	if k.live > 0 {
+}
+
+// Run executes events until the event queue is empty, a process fails, or
+// the virtual clock would exceed until (use math.Inf(1) for no horizon).
+// It returns the first process failure, a *DeadlockError if live processes
+// remain halted with nothing scheduled, or nil. Parked daemon processes do
+// not hold a run open: when only daemons remain the run is complete (reap
+// them with Shutdown), but pooled runners still executing a task count as
+// deadlocked work.
+//
+// Run hands control to the first dispatched process and receives it back
+// only when nothing is runnable; in between, control passes from process to
+// process without returning here.
+func (k *Kernel) Run(until float64) error {
+	k.horizon = until
+	if next := k.dispatchNext(); next != nil {
+		next.resume <- struct{}{}
+		<-k.main
+	}
+	if k.failure != nil {
+		k.abort()
+		return k.failure
+	}
+	if _, ok := k.next(); ok {
+		// Head event beyond the horizon: stop with the queue intact.
+		return nil
+	}
+	if k.live > 0 || k.busyGo > 0 {
 		var names []string
 		for _, p := range k.procs {
-			if !p.done && p.halted {
+			if p.done || !p.halted {
+				continue
+			}
+			if !p.daemon || p.task != nil {
 				names = append(names, p.name)
 			}
 		}
@@ -220,6 +473,12 @@ func (k *Kernel) Run(until float64) error {
 	}
 	return nil
 }
+
+// Shutdown reaps every remaining process goroutine — parked worker-pool
+// daemons included — and renders the kernel unusable. Call it once the
+// run's results have been read; it is idempotent and safe after failed
+// runs (which abort on their own).
+func (k *Kernel) Shutdown() { k.abort() }
 
 // abort unblocks every live process with an abort signal so their
 // goroutines exit; the kernel becomes unusable afterwards.
@@ -233,6 +492,6 @@ func (k *Kernel) abort() {
 			continue
 		}
 		p.resume <- struct{}{}
-		<-k.yield
+		<-k.main
 	}
 }

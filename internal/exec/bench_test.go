@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"testing"
+
+	"hybridperf/internal/machine"
+	"hybridperf/internal/workload"
+)
+
+// BenchmarkRun measures one validation-size direct measurement (SP at the
+// characterisation class on the largest validation configuration) — the
+// unit of work every experiment artifact and sweep repeats thousands of
+// times. ns/op and allocs/op for this fixture are the headline numbers
+// recorded in BENCH_2.json.
+func BenchmarkRun(b *testing.B) {
+	req := Request{
+		Prof:  machine.XeonE5(),
+		Spec:  workload.SP(),
+		Class: workload.ClassS,
+		Cfg:   machine.Config{Nodes: 8, Cores: 8, Freq: 1.8e9},
+		Seed:  1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep measures a small validation sweep (one point per node
+// count) through the concurrent sweep engine with 8 workers.
+func BenchmarkSweep(b *testing.B) {
+	var reqs []Request
+	for _, nodes := range []int{1, 2, 4, 8} {
+		reqs = append(reqs, Request{
+			Prof:  machine.XeonE5(),
+			Spec:  workload.SP(),
+			Class: workload.ClassS,
+			Cfg:   machine.Config{Nodes: nodes, Cores: 8, Freq: 1.8e9},
+			Seed:  int64(nodes),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(reqs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

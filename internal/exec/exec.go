@@ -62,6 +62,32 @@ type Result struct {
 	Utilization float64           // mean CPU utilisation U
 	Comm        mpi.Profile       // mpiP-style communication profile
 	MemWait     des.ResourceStats // node 0 memory controller statistics
+	Engine      EngineStats       // DES kernel cost of producing the run
+}
+
+// EngineStats reports what the simulation engine spent producing a
+// measurement: dispatched events and process goroutines created. With the
+// persistent worker pools, Procs stays near nodes x cores instead of
+// growing with the event count.
+type EngineStats struct {
+	Events uint64 // events dispatched by the kernel
+	Procs  int    // process goroutines spawned (ranks, workers, couriers)
+}
+
+// rankNames caches process labels for the usual world sizes so sweeps
+// don't re-format them per run.
+var rankNames = func() (names [64]string) {
+	for i := range names {
+		names[i] = fmt.Sprintf("rank%d", i)
+	}
+	return
+}()
+
+func rankName(i int) string {
+	if i < len(rankNames) {
+		return rankNames[i]
+	}
+	return fmt.Sprintf("rank%d", i)
 }
 
 // Run executes one simulation and returns its measurements.
@@ -81,13 +107,15 @@ func Run(req Request) (*Result, error) {
 
 	root := rng.New(req.Seed)
 	k := des.NewKernel()
+	// Reap pooled worker/courier goroutines once results are read.
+	defer k.Shutdown()
 	sw := simnet.New(k, req.Prof, req.Cfg.Nodes)
 
 	nodes := make([]*node.Node, req.Cfg.Nodes)
 	for i := range nodes {
 		var jitter *rng.Stream
 		if !req.NoJitter {
-			jitter = root.Split(fmt.Sprintf("node%d", i))
+			jitter = root.SplitInt("node", i)
 		}
 		nodes[i] = node.New(k, req.Prof, i, req.Cfg.Cores, req.Cfg.Freq, jitter)
 	}
@@ -109,7 +137,7 @@ func Run(req Request) (*Result, error) {
 			env.Governor = req.Governor(i)
 		}
 		env.Trace = rec
-		k.Spawn(fmt.Sprintf("rank%d", i), func(p *des.Proc) {
+		k.Spawn(rankName(i), func(p *des.Proc) {
 			if err := req.Spec.Run(p, env); err != nil && runErr == nil {
 				runErr = err
 			}
@@ -130,6 +158,7 @@ func Run(req Request) (*Result, error) {
 		Comm:    world.Profile(),
 		MemWait: nodes[0].MemStats(),
 		Trace:   rec.Events(),
+		Engine:  EngineStats{Events: k.Events(), Procs: k.Procs()},
 	}
 	meterNoise := root.Split("meter")
 	for _, nd := range nodes {

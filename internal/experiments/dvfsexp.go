@@ -72,22 +72,27 @@ func (r *Runner) DVFSExp() (*Artifact, error) {
 			"compute-bound: no slack, governor neutral"},
 	}
 	class := r.validationClass()
-	var rows [][]string
+	// Build the plain/governed request pairs up front and run them as one
+	// concurrent sweep: each simulation owns its kernel, so the 2x5 runs
+	// parallelise across the runner's worker budget without perturbing the
+	// per-scenario seeds (results come back in request order).
+	reqs := make([]exec.Request, 0, 2*len(scenarios))
 	for i, sc := range scenarios {
 		base := exec.Request{
 			Prof: sc.prof, Spec: sc.spec, Class: class, Cfg: sc.cfg,
 			Seed: r.cfg.Seed + int64(i)*101,
 		}
-		plain, err := exec.Run(base)
-		if err != nil {
-			return nil, err
-		}
 		governed := base
 		governed.Governor = slackGovernor(sc.prof, sc.cfg)
-		gov, err := exec.Run(governed)
-		if err != nil {
-			return nil, err
-		}
+		reqs = append(reqs, base, governed)
+	}
+	results, err := exec.Sweep(reqs, r.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for i, sc := range scenarios {
+		plain, gov := results[2*i], results[2*i+1]
 		rows = append(rows, []string{
 			sc.prof.Name, sc.spec.Name, sc.cfg.String(),
 			fmt.Sprintf("%.0f", plain.Time),

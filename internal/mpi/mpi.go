@@ -32,9 +32,10 @@ const (
 
 // World is an MPI communicator spanning one rank per node.
 type World struct {
-	k     *des.Kernel
-	net   simnet.Network
-	ranks []*Rank
+	k       *des.Kernel
+	net     simnet.Network
+	ranks   []*Rank
+	msgPool []*message // free list of in-flight message records
 }
 
 // Rank is one logical MPI process, pinned to its node's core 0 (the master
@@ -46,9 +47,9 @@ type Rank struct {
 
 	received  [numTags]int
 	cond      [numTags]des.Cond
-	reduceOps int                  // completed Allreduce/Barrier operations
-	a2aOps    int                  // completed Alltoall operations
-	seqRecv   [numTags]map[int]int // per-round receipts for collective rounds
+	reduceOps int              // completed Allreduce/Barrier operations
+	a2aOps    int              // completed Alltoall operations
+	seqRecv   [numTags][]int32 // per-round receipt counts, indexed by sequence
 
 	// mpiP-style accounting.
 	sentMsgs  int
@@ -60,13 +61,27 @@ type Rank struct {
 func NewWorld(k *des.Kernel, net simnet.Network, nodes []*node.Node) *World {
 	w := &World{k: k, net: net}
 	for i, nd := range nodes {
-		r := &Rank{w: w, id: i, node: nd}
-		for t := range r.seqRecv {
-			r.seqRecv[t] = make(map[int]int)
-		}
-		w.ranks = append(w.ranks, r)
+		w.ranks = append(w.ranks, &Rank{w: w, id: i, node: nd})
 	}
 	return w
+}
+
+// seqGot reports whether the collective round seq has been received.
+func (r *Rank) seqGot(tag Tag, seq int) bool {
+	s := r.seqRecv[tag]
+	return seq < len(s) && s[seq] > 0
+}
+
+// seqMark records receipt of collective round seq. Sequence numbers grow
+// monotonically with completed operations, so a flat slice replaces the
+// per-message map churn of a map[int]int at a few bytes per round.
+func (r *Rank) seqMark(tag Tag, seq int) {
+	s := r.seqRecv[tag]
+	for len(s) <= seq {
+		s = append(s, 0)
+	}
+	s[seq]++
+	r.seqRecv[tag] = s
 }
 
 // Size returns the number of ranks.
@@ -104,19 +119,54 @@ func (r *Rank) isend(to int, bytes float64, tag Tag, seq int) {
 		return
 	}
 	r.node.NetRef(1)
-	src, dst := r, r.w.ranks[to]
-	r.w.k.Spawn(fmt.Sprintf("msg r%d->r%d", r.id, to), func(mp *des.Proc) {
-		r.w.net.Transfer(mp, src.id, dst.id, bytes)
-		src.node.NetRef(-1)
-		dst.deliver(tag, seq)
-	})
+	m := r.w.newMessage()
+	m.src, m.dst, m.bytes, m.tag, m.seq = r, r.w.ranks[to], bytes, tag, seq
+	r.w.k.Go("mpi.msg", courier, m)
+}
+
+// message is the in-flight state of one eager send, drawn from the world's
+// free list so steady-state traffic allocates nothing.
+type message struct {
+	src, dst *Rank
+	bytes    float64
+	tag      Tag
+	seq      int
+}
+
+// courier drives one message through the network on a pooled kernel
+// process: transfer, drop the sender's NIC reference, deliver, recycle.
+func courier(mp *des.Proc, ctx any) {
+	m := ctx.(*message)
+	w := m.src.w
+	w.net.Transfer(mp, m.src.id, m.dst.id, m.bytes)
+	m.src.node.NetRef(-1)
+	dst, tag, seq := m.dst, m.tag, m.seq
+	w.freeMessage(m)
+	dst.deliver(tag, seq)
+}
+
+// newMessage takes a message from the free list (or allocates the first
+// few). Simulated processes run one at a time, so no locking is needed.
+func (w *World) newMessage() *message {
+	if n := len(w.msgPool); n > 0 {
+		m := w.msgPool[n-1]
+		w.msgPool = w.msgPool[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// freeMessage returns a delivered message to the free list.
+func (w *World) freeMessage(m *message) {
+	*m = message{}
+	w.msgPool = append(w.msgPool, m)
 }
 
 // deliver records a message arrival and wakes waiters.
 func (r *Rank) deliver(tag Tag, seq int) {
 	r.received[tag]++
 	if seq >= 0 {
-		r.seqRecv[tag][seq]++
+		r.seqMark(tag, seq)
 	}
 	r.cond[tag].Broadcast()
 }
@@ -130,11 +180,11 @@ func (r *Rank) WaitCount(p *des.Proc, tag Tag, target int) {
 	}
 	start := p.Now()
 	r.node.NetRef(1)
-	r.node.NetWait(0, func() {
-		for r.received[tag] < target {
-			r.cond[tag].Wait(p)
-		}
-	})
+	ws := r.node.NetWaitBegin(0)
+	for r.received[tag] < target {
+		r.cond[tag].Wait(p)
+	}
+	r.node.NetWaitEnd(0, ws)
 	r.node.NetRef(-1)
 	r.waitTime += p.Now() - start
 }
@@ -182,16 +232,16 @@ func (r *Rank) Allreduce(p *des.Proc, bytes float64) {
 // number has arrived on the tag, with the same NIC/idle accounting as
 // WaitCount.
 func (r *Rank) waitSeq(p *des.Proc, tag Tag, seq int) {
-	if r.seqRecv[tag][seq] >= 1 {
+	if r.seqGot(tag, seq) {
 		return
 	}
 	start := p.Now()
 	r.node.NetRef(1)
-	r.node.NetWait(0, func() {
-		for r.seqRecv[tag][seq] < 1 {
-			r.cond[tag].Wait(p)
-		}
-	})
+	ws := r.node.NetWaitBegin(0)
+	for !r.seqGot(tag, seq) {
+		r.cond[tag].Wait(p)
+	}
+	r.node.NetWaitEnd(0, ws)
 	r.node.NetRef(-1)
 	r.waitTime += p.Now() - start
 }

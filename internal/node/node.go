@@ -38,11 +38,16 @@ type Node struct {
 
 	jitter *rng.Stream
 
-	// Power integration.
+	// Power integration. pAct/pStall cache the profile's per-core power at
+	// the current frequency: integrate runs on every core state
+	// transition, and the power-curve evaluation (math.Pow) only changes
+	// when the DVFS level does.
 	lastT  float64
 	nAct   int
 	nStall int
 	netRef int
+	pAct   float64
+	pStall float64
 	energy EnergyBreakdown
 }
 
@@ -84,6 +89,8 @@ func New(k *des.Kernel, prof *machine.Profile, id, cores int, f float64, jitter 
 		states: make([]CoreState, cores),
 		Ctrs:   make([]counters.Core, cores),
 		jitter: jitter,
+		pAct:   prof.PCoreAct.At(f),
+		pStall: prof.PCoreStall(f),
 	}
 }
 
@@ -111,6 +118,8 @@ func (n *Node) SetFreq(f float64) {
 	}
 	n.integrate()
 	n.freq = f
+	n.pAct = n.prof.PCoreAct.At(f)
+	n.pStall = n.prof.PCoreStall(f)
 }
 
 // Profile returns the node's hardware profile.
@@ -121,9 +130,7 @@ func (n *Node) integrate() {
 	now := n.k.Now()
 	dt := now - n.lastT
 	if dt > 0 {
-		pAct := n.prof.PCoreAct.At(n.freq)
-		pStall := n.prof.PCoreStall(n.freq)
-		n.energy.CPU += (float64(n.nAct)*pAct + float64(n.nStall)*pStall) * dt
+		n.energy.CPU += (float64(n.nAct)*n.pAct + float64(n.nStall)*n.pStall) * dt
 		if n.nStall > 0 {
 			n.energy.Mem += n.prof.PMem * dt
 		}
@@ -224,9 +231,21 @@ func (n *Node) MemAccess(p *des.Proc, core int, bytes float64) {
 // accounts the elapsed time as network wait on that core. The core is idle
 // for power purposes; the NIC reference is held by the caller.
 func (n *Node) NetWait(core int, fn func()) {
-	start := n.k.Now()
-	n.setState(core, Idle)
+	start := n.NetWaitBegin(core)
 	fn()
+	n.NetWaitEnd(core, start)
+}
+
+// NetWaitBegin marks the core idle for a network wait and returns the wait
+// start time. Paired with NetWaitEnd, it is the closure-free form of
+// NetWait for hot paths (one pair per MPI wait, no allocation).
+func (n *Node) NetWaitBegin(core int) float64 {
+	n.setState(core, Idle)
+	return n.k.Now()
+}
+
+// NetWaitEnd accounts the elapsed network wait begun at start.
+func (n *Node) NetWaitEnd(core int, start float64) {
 	n.Ctrs[core].NetWaitTime += n.k.Now() - start
 }
 

@@ -1,0 +1,29 @@
+package omp
+
+import (
+	"math"
+	"testing"
+
+	"hybridperf/internal/des"
+)
+
+// BenchmarkParallelRegion measures the fork-join cost of one 8-thread
+// parallel region including a small compute burst per thread — the region
+// rate is what bounds simulated iterations per second.
+func BenchmarkParallelRegion(b *testing.B) {
+	k := des.NewKernel()
+	tm := team(k, 8)
+	f := tm.Node().Freq()
+	k.Spawn("master", func(p *des.Proc) {
+		for i := 0; i < b.N; i++ {
+			tm.Parallel(p, func(th *Thread) {
+				th.Compute(f*1e-6*float64(th.ID+1), 0)
+			})
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(math.Inf(1)); err != nil {
+		b.Fatal(err)
+	}
+}

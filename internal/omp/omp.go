@@ -7,7 +7,7 @@
 package omp
 
 import (
-	"fmt"
+	"strconv"
 
 	"hybridperf/internal/des"
 	"hybridperf/internal/node"
@@ -17,9 +17,20 @@ import (
 // The master thread (tid 0) runs on the calling process, mirroring the
 // OpenMP execution model where the MPI process's main thread becomes
 // thread 0 of each region.
+//
+// Worker threads form a persistent pool: they are spawned once, on the
+// team's first parallel region, and parked with Halt between regions — a
+// run with thousands of regions creates exactly Size()-1 worker
+// goroutines, as a real OpenMP runtime would.
 type Team struct {
 	k    *des.Kernel
 	node *node.Node
+
+	workers []*des.Proc // parked pool, index i drives thread id i+1
+	body    func(th *Thread)
+	done    int // workers finished with the current region
+	join    des.Cond
+	master  Thread // reusable master-thread context (tid 0)
 }
 
 // NewTeam creates a team covering all active cores of nd.
@@ -53,22 +64,45 @@ func (th *Thread) MemAccess(bytes float64) {
 
 // Parallel runs body once per thread (an `omp parallel` region) and blocks
 // the master process until every thread has finished — the region's
-// implicit barrier. Worker threads are fresh simulated processes; the
-// master runs body inline as tid 0.
+// implicit barrier. The master runs body inline as tid 0; worker threads
+// are pooled daemon processes woken per region (spawned on the first).
 func (t *Team) Parallel(p *des.Proc, body func(th *Thread)) {
 	n := t.Size()
-	done := 0
-	var join des.Cond
-	for tid := 1; tid < n; tid++ {
-		tid := tid
-		t.k.Spawn(fmt.Sprintf("%s.t%d", p.Name(), tid), func(wp *des.Proc) {
-			body(&Thread{P: wp, ID: tid, team: t})
-			done++
-			join.Broadcast()
-		})
+	t.body = body
+	t.done = 0
+	if t.workers == nil {
+		t.spawnWorkers(p.Name(), n)
+	} else {
+		for _, wp := range t.workers {
+			wp.Wake()
+		}
 	}
-	body(&Thread{P: p, ID: 0, team: t})
-	for done < n-1 {
-		join.Wait(p)
+	t.master = Thread{P: p, ID: 0, team: t}
+	body(&t.master)
+	if t.done < n-1 {
+		t.join.Wait(p)
+	}
+	t.body = nil
+}
+
+// spawnWorkers creates the persistent pool on the first region. Each
+// worker runs the current region body, signals completion, and parks until
+// the next region wakes it; abort (Kernel.Shutdown, run failure) unwinds
+// parked workers through the kernel's abort signal.
+func (t *Team) spawnWorkers(master string, n int) {
+	for tid := 1; tid < n; tid++ {
+		name := master + ".t" + strconv.Itoa(tid)
+		th := Thread{ID: tid, team: t}
+		t.workers = append(t.workers, t.k.SpawnDaemon(name, func(wp *des.Proc) {
+			th.P = wp
+			for {
+				t.body(&th)
+				t.done++
+				if t.done == t.Size()-1 {
+					t.join.Broadcast() // last worker releases the master
+				}
+				wp.Halt()
+			}
+		}))
 	}
 }

@@ -142,3 +142,34 @@ func TestTeamAccessors(t *testing.T) {
 		t.Fatal("Node() nil")
 	}
 }
+
+// TestWorkersPersistAcrossRegions checks the persistent pool: worker
+// goroutines are spawned once on the first parallel region and then halted
+// and rewoken, so the kernel's process count stays at master + (c-1)
+// workers no matter how many regions run.
+func TestWorkersPersistAcrossRegions(t *testing.T) {
+	k := des.NewKernel()
+	defer k.Shutdown()
+	const cores, regions = 8, 50
+	tm := team(k, cores)
+	f := machine.XeonE5().FMax()
+	ran := 0
+	k.Spawn("master", func(p *des.Proc) {
+		for r := 0; r < regions; r++ {
+			tm.Parallel(p, func(th *Thread) {
+				th.Compute(f/1e3, 0)
+				if th.ID == 0 {
+					ran++
+				}
+			})
+		}
+	})
+	run(t, k)
+	if ran != regions {
+		t.Fatalf("ran %d regions, want %d", ran, regions)
+	}
+	if got := k.Procs(); got != cores { // master + (cores-1) workers
+		t.Fatalf("kernel spawned %d process goroutines over %d regions, want %d",
+			got, regions, cores)
+	}
+}

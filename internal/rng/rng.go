@@ -6,9 +6,9 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 )
 
 // Stream is a deterministic random stream. The zero value is invalid; use
@@ -22,16 +22,44 @@ func New(seed int64) *Stream {
 	return &Stream{r: rand.New(rand.NewSource(seed))}
 }
 
+// fnv64a is FNV-1a over the name bytes, inlined so Split allocates no
+// hasher. Identical to hash/fnv's 64a sum.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // Split derives an independent child stream identified by name. Two splits
 // of the same parent with different names are decorrelated; the same name
 // always yields the same child stream.
 func (s *Stream) Split(name string) *Stream {
-	h := fnv.New64a()
-	h.Write([]byte(name))
 	// Mix the parent's next value with the name hash. The parent advances
 	// exactly one draw per Split, keeping sibling order irrelevant only if
 	// callers split in a fixed order — which the simulator does.
-	seed := int64(h.Sum64()) ^ s.r.Int63()
+	seed := int64(fnv64a(fnvOffset64, name)) ^ s.r.Int63()
+	return New(seed)
+}
+
+// SplitInt is Split(name + strconv.Itoa(i)) without building the string:
+// it hashes the same byte sequence, so SplitInt("node", 3) yields exactly
+// the stream Split("node3") would — the allocation-free form for indexed
+// streams on sweep hot paths.
+func (s *Stream) SplitInt(name string, i int) *Stream {
+	h := fnv64a(fnvOffset64, name)
+	var buf [20]byte
+	for _, c := range strconv.AppendInt(buf[:0], int64(i), 10) {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	seed := int64(h) ^ s.r.Int63()
 	return New(seed)
 }
 
