@@ -1,0 +1,66 @@
+// Command benchgate guards the simulation engine's performance envelope in
+// CI: it runs the reference benchmark (exec.BenchmarkRun — one class-S SP
+// measurement on 8×8 cores) and fails if the best observed ns/op regresses
+// more than an allowed factor over the recorded reference in BENCH_2.json.
+// The gate is deliberately loose (default 25 %) so shared-runner noise
+// passes but an accidental hot-path regression — say, instrumentation that
+// stopped being free — does not.
+//
+// Usage (CI):
+//
+//	go run ./cmd/benchgate -ref BENCH_2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	var (
+		ref       = flag.String("ref", "BENCH_2.json", "reference benchmark record")
+		key       = flag.String("key", "exec_BenchmarkRun_SP_classS_8x8", "reference entry under \"after\"")
+		bench     = flag.String("bench", "BenchmarkRun$", "benchmark pattern to run")
+		pkg       = flag.String("pkg", "./internal/exec", "package holding the benchmark")
+		factor    = flag.Float64("factor", 1.25, "allowed ns/op regression factor over the reference")
+		count     = flag.Int("count", 3, "benchmark repetitions (best run is compared)")
+		benchtime = flag.String("benchtime", "5x", "go test -benchtime value")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refNs, err := refNsOp(raw, *key)
+	if err != nil {
+		log.Fatalf("%s: %v", *ref, err)
+	}
+
+	args := []string{"test", "-run=NONE", "-bench", *bench,
+		"-benchtime", *benchtime, "-count", fmt.Sprint(*count), *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("go %v: %v", args, err)
+	}
+	best, runs, err := minNsPerOp(string(out), "Benchmark")
+	if err != nil {
+		log.Fatalf("parsing benchmark output: %v\n%s", err, out)
+	}
+
+	limit := refNs * *factor
+	fmt.Printf("reference %.0f ns/op, best of %d runs %.0f ns/op, limit %.0f ns/op (%.2fx)\n",
+		refNs, runs, best, limit, best/refNs)
+	if best > limit {
+		log.Fatalf("REGRESSION: %.0f ns/op exceeds %.0f ns/op (%.0f × %.2f)",
+			best, limit, refNs, *factor)
+	}
+	fmt.Println("ok")
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// refNsOp extracts the recorded ns/op for one benchmark entry under the
+// "after" section of a BENCH_*.json record.
+func refNsOp(raw []byte, key string) (float64, error) {
+	var doc struct {
+		After map[string]struct {
+			NsOp float64 `json:"ns_op"`
+		} `json:"after"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, err
+	}
+	e, ok := doc.After[key]
+	if !ok || e.NsOp <= 0 {
+		return 0, fmt.Errorf("no usable %q entry under \"after\"", key)
+	}
+	return e.NsOp, nil
+}
+
+// minNsPerOp parses `go test -bench` output and returns the smallest
+// ns/op over all result lines whose benchmark name starts with prefix,
+// plus how many lines matched. Benchmark result lines have the form
+//
+//	BenchmarkRun          	       5	  26053117 ns/op	...
+//
+// optionally with a -N GOMAXPROCS suffix on the name.
+func minNsPerOp(out, prefix string) (min float64, n int, err error) {
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], prefix) {
+			continue
+		}
+		if fields[3] != "ns/op" {
+			continue
+		}
+		v, perr := strconv.ParseFloat(fields[2], 64)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("bad ns/op in %q: %v", line, perr)
+		}
+		if n == 0 || v < min {
+			min = v
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("no benchmark result lines matching %q", prefix)
+	}
+	return min, n, nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hybridperf/internal/exec
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRun        	       5	  26053117 ns/op	  255877 B/op	   11045 allocs/op
+BenchmarkRun        	       5	  27110041 ns/op	  255881 B/op	   11046 allocs/op
+BenchmarkRun-4      	       5	  25910233 ns/op	  255870 B/op	   11044 allocs/op
+PASS
+ok  	hybridperf/internal/exec	1.234s
+`
+
+func TestMinNsPerOp(t *testing.T) {
+	min, n, err := minNsPerOp(sampleOutput, "Benchmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("matched %d lines, want 3", n)
+	}
+	if min != 25910233 {
+		t.Fatalf("min = %g, want 25910233", min)
+	}
+}
+
+func TestMinNsPerOpNoMatches(t *testing.T) {
+	if _, _, err := minNsPerOp("PASS\nok\n", "Benchmark"); err == nil {
+		t.Fatal("expected error for output without benchmark lines")
+	}
+}
+
+func TestMinNsPerOpMalformed(t *testing.T) {
+	if _, _, err := minNsPerOp("BenchmarkRun 5 abc ns/op\n", "Benchmark"); err == nil {
+		t.Fatal("expected error for malformed ns/op value")
+	}
+}
+
+func TestRefNsOp(t *testing.T) {
+	raw := []byte(`{"after": {"exec_BenchmarkRun_SP_classS_8x8": {"ns_op": 26053117, "B_op": 255877}}}`)
+	got, err := refNsOp(raw, "exec_BenchmarkRun_SP_classS_8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 26053117 {
+		t.Fatalf("ref = %g", got)
+	}
+	if _, err := refNsOp(raw, "missing"); err == nil {
+		t.Fatal("expected error for missing key")
+	}
+	if _, err := refNsOp([]byte("not json"), "k"); err == nil {
+		t.Fatal("expected error for invalid JSON")
+	}
+}

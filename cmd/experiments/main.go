@@ -29,10 +29,11 @@ func main() {
 		seed    = flag.Int64("seed", 0, "seed (0 = default)")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
 		out     = flag.String("out", "", "directory to write one .txt per artifact")
+		showMx  = flag.Bool("metrics", false, "report aggregate engine counters over every simulation run")
 	)
 	flag.Parse()
 
-	r := experiments.NewRunner(experiments.Config{Seed: *seed, Workers: *workers, Fast: *fast})
+	r := experiments.NewRunner(experiments.Config{Seed: *seed, Workers: *workers, Fast: *fast, Metrics: *showMx})
 	var arts []*experiments.Artifact
 	if *id != "" {
 		a, err := r.ByID(*id)
@@ -61,5 +62,9 @@ func main() {
 			continue
 		}
 		fmt.Printf("==== %s ====\n\n%s\n", a.Title, a.Text)
+	}
+	if *showMx {
+		mx, runs := r.Metrics()
+		fmt.Printf("==== engine metrics (%d simulations) ====\n\n%s\n", runs, mx)
 	}
 }

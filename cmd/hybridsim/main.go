@@ -5,6 +5,8 @@
 // Usage:
 //
 //	hybridsim -system xeon -program SP -class A -n 4 -c 8 -f 1.8 -seed 1
+//	hybridsim -program LB -n 4 -c 4 -timeline -metrics
+//	hybridsim -program SP -n 8 -c 8 -trace out.json   # chrome://tracing
 package main
 
 import (
@@ -30,6 +32,8 @@ func main() {
 		fGHz     = flag.Float64("f", 0, "core frequency [GHz]; 0 = fmax")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		timeline = flag.Bool("timeline", false, "render a per-rank phase Gantt chart")
+		traceOut = flag.String("trace", "", "write the phase timeline as a Chrome-trace JSON file")
+		showMx   = flag.Bool("metrics", false, "report engine instrumentation counters")
 	)
 	flag.Parse()
 
@@ -48,7 +52,7 @@ func main() {
 	cfg := hybridperf.Config{Nodes: *n, Cores: *c, Freq: f}
 	res, err := exec.Run(exec.Request{
 		Prof: sys, Spec: prog, Class: hybridperf.Class(*class), Cfg: cfg,
-		Seed: *seed, Trace: *timeline,
+		Seed: *seed, Trace: *timeline || *traceOut != "", Metrics: *showMx,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -72,7 +76,26 @@ func main() {
 	// Deterministic by design: no wall-clock here, so two invocations with
 	// the same seed stay byte-diffable.
 	fmt.Fprintf(w, "engine       %d events on %d procs\n", res.Engine.Events, res.Engine.Procs)
+	if *timeline || *traceOut != "" {
+		fmt.Fprintf(w, "measured UCR %.3f (from %d trace events)\n", res.MeasuredUCR, len(res.Trace))
+	}
+	if *showMx && res.Metrics != nil {
+		fmt.Fprintf(w, "\nengine metrics\n%s", res.Metrics.Engine)
+	}
 	if *timeline {
 		fmt.Fprintf(w, "\n%s", trace.Gantt(res.Trace, 100))
+	}
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(fh, res.Trace); err != nil {
+			log.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %s (%d events; open in chrome://tracing or Perfetto)\n", *traceOut, len(res.Trace))
 	}
 }

@@ -33,6 +33,7 @@ func main() {
 		budget   = flag.Float64("budget", 0, "energy budget [J] (0 = none)")
 		seed     = flag.Int64("seed", 42, "characterisation seed")
 		workers  = flag.Int("workers", 0, "parallel characterisation/sweep workers (0 = NumCPU)")
+		showMx   = flag.Bool("metrics", false, "report aggregate engine counters of the characterisation sweep")
 	)
 	flag.Parse()
 
@@ -44,7 +45,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := hybridperf.Characterize(sys, prog, &hybridperf.CharacterizeOptions{Seed: *seed, Workers: *workers})
+	model, err := hybridperf.Characterize(sys, prog, &hybridperf.CharacterizeOptions{
+		Seed: *seed, Workers: *workers, Metrics: *showMx,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,5 +97,9 @@ func main() {
 		} else {
 			fmt.Fprintf(w, "no configuration fits budget %.0f J\n", *budget)
 		}
+	}
+	if *showMx {
+		sum := model.Characterization()
+		fmt.Fprintf(w, "\nengine metrics over %d characterisation runs\n%s", sum.MetricsRuns, sum.Metrics)
 	}
 }

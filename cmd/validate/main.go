@@ -1,7 +1,9 @@
 // Command validate compares model predictions against direct simulation
 // over the validation configuration grid, printing per-program mean and
 // standard deviation of the time and energy errors — the repository's
-// Table 2.
+// Table 2 — plus the predicted-vs-measured Useful Computation Ratio,
+// where the measured side is derived from each run's recorded phase
+// timeline (Eq. 13 evaluated on the simulation's own trace).
 //
 // Usage:
 //
@@ -87,13 +89,15 @@ func main() {
 			reqs = append(reqs, exec.Request{
 				Prof: sys, Spec: spec, Class: workload.Class(*class), Cfg: cfg,
 				Seed: *seed + 1e6 + int64(i),
+				// The recorded timeline yields each run's measured UCR.
+				Trace: true,
 			})
 		}
 		results, err := exec.Sweep(reqs, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var predT, measT, predE, measE []float64
+		var predT, measT, predE, measE, predU, measU []float64
 		for i, cfg := range cfgs {
 			p, err := model.Core().Predict(cfg, S)
 			if err != nil {
@@ -103,6 +107,8 @@ func main() {
 			measT = append(measT, results[i].Time)
 			predE = append(predE, p.E)
 			measE = append(measE, results[i].MeasuredEnergy)
+			predU = append(predU, p.UCR)
+			measU = append(measU, results[i].MeasuredUCR)
 		}
 		te := stats.SummarizeErrors(predT, measT)
 		ee := stats.SummarizeErrors(predE, measE)
@@ -111,9 +117,23 @@ func main() {
 			fmt.Sprintf("%d", len(cfgs)),
 			fmt.Sprintf("%.1f", te.Mean), fmt.Sprintf("%.1f", te.StdDev), fmt.Sprintf("%.1f", te.Max),
 			fmt.Sprintf("%.1f", ee.Mean), fmt.Sprintf("%.1f", ee.StdDev), fmt.Sprintf("%.1f", ee.Max),
+			fmt.Sprintf("%.3f", mean(predU)), fmt.Sprintf("%.3f", mean(measU)),
 		})
 	}
 	fmt.Fprintf(os.Stdout, "Validation on %s, class %s\n\n", sys.Name, *class)
 	fmt.Fprintln(os.Stdout, textplot.Table(
-		[]string{"Prog", "Cfgs", "T mean%", "T std", "T max", "E mean%", "E std", "E max"}, rows))
+		[]string{"Prog", "Cfgs", "T mean%", "T std", "T max", "E mean%", "E std", "E max",
+			"UCR pred", "UCR meas"}, rows))
+}
+
+// mean returns the arithmetic mean (0 for an empty slice).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
 }

@@ -61,6 +61,10 @@ type (
 	Measurement = exec.Result
 	// CharacterizeOptions tunes the measurement campaign.
 	CharacterizeOptions = characterize.Options
+	// Characterization is the raw measurement-campaign record behind a
+	// model (baseline points, NetPIPE curve, power tables, mpiP report,
+	// and — with CharacterizeOptions.Metrics — aggregate engine counters).
+	Characterization = characterize.Summary
 )
 
 // Input classes (iteration-count scales relative to the baseline input).
@@ -115,7 +119,8 @@ type Model struct {
 	core    *core.Model
 	sys     *System
 	prog    *Program
-	workers int // sweep parallelism; <= 0 means GOMAXPROCS
+	sum     *characterize.Summary // nil for NewModel-built models
+	workers int                   // sweep parallelism; <= 0 means GOMAXPROCS
 }
 
 // Characterize measures a program on a system and builds its model.
@@ -135,7 +140,7 @@ func Characterize(sys *System, prog *Program, opts *CharacterizeOptions) (*Model
 	if err != nil {
 		return nil, err
 	}
-	return &Model{core: cm, sys: sys, prog: prog, workers: o.Workers}, nil
+	return &Model{core: cm, sys: sys, prog: prog, sum: sum, workers: o.Workers}, nil
 }
 
 // NewModel wraps pre-assembled model inputs (e.g. loaded from disk or
@@ -157,11 +162,15 @@ func (m *Model) Program() *Program { return m.prog }
 // Core exposes the underlying analytical model.
 func (m *Model) Core() *core.Model { return m.core }
 
+// Characterization returns the measurement campaign behind the model, or
+// nil for models assembled from pre-built inputs (NewModel).
+func (m *Model) Characterization() *Characterization { return m.sum }
+
 // WithWorkers derives a model whose space sweeps (Explore, Validate,
 // PredictAll and the queries built on them) use up to n goroutines.
 // n <= 0 restores the default (GOMAXPROCS).
 func (m *Model) WithWorkers(n int) *Model {
-	return &Model{core: m.core, sys: m.sys, prog: m.prog, workers: n}
+	return &Model{core: m.core, sys: m.sys, prog: m.prog, sum: m.sum, workers: n}
 }
 
 // sweepWorkers resolves the effective sweep parallelism.
@@ -270,7 +279,7 @@ func (m *Model) withCoreOptions(opt core.Options) *Model {
 	if err != nil {
 		panic(fmt.Sprintf("hybridperf: invalid derived options: %v", err))
 	}
-	return &Model{core: cm, sys: m.sys, prog: m.prog, workers: m.workers}
+	return &Model{core: cm, sys: m.sys, prog: m.prog, sum: m.sum, workers: m.workers}
 }
 
 // Simulate directly measures one execution on the simulated cluster: the

@@ -11,6 +11,7 @@ import (
 	"hybridperf/internal/core"
 	"hybridperf/internal/exec"
 	"hybridperf/internal/machine"
+	"hybridperf/internal/metrics"
 	"hybridperf/internal/mpip"
 	"hybridperf/internal/netpipe"
 	"hybridperf/internal/powerbench"
@@ -23,6 +24,10 @@ type Options struct {
 	Workers       int            // parallel simulation workers (default 4)
 	BaselineClass workload.Class // default ClassS, the paper's small input Ps
 	ProfileNodes  int            // nodes for the mpiP run (default 2)
+	// Metrics instruments every simulation of the campaign and fills the
+	// Summary's aggregate engine counters. Off by default (the counters
+	// never alter results, only observe them).
+	Metrics bool
 }
 
 func (o *Options) fill() {
@@ -45,6 +50,11 @@ type Summary struct {
 	Power    *powerbench.Result
 	MpiP     mpip.Report
 	Baseline map[machine.CF]core.BaselinePoint
+
+	// Metrics is the summed engine-counter snapshot over MetricsRuns
+	// instrumented simulations (only with Options.Metrics).
+	Metrics     metrics.EngineSnapshot
+	MetricsRuns int
 }
 
 // commFromSpec builds the model's communication law from the program's
@@ -97,11 +107,12 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 		for _, f := range prof.Frequencies {
 			keys = append(keys, machine.CF{Cores: c, Freq: f})
 			reqs = append(reqs, exec.Request{
-				Prof:  prof,
-				Spec:  spec,
-				Class: opts.BaselineClass,
-				Cfg:   machine.Config{Nodes: 1, Cores: c, Freq: f},
-				Seed:  opts.Seed + int64(len(reqs)),
+				Prof:    prof,
+				Spec:    spec,
+				Class:   opts.BaselineClass,
+				Cfg:     machine.Config{Nodes: 1, Cores: c, Freq: f},
+				Seed:    opts.Seed + int64(len(reqs)),
+				Metrics: opts.Metrics,
 			})
 		}
 	}
@@ -109,6 +120,7 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 	if err != nil {
 		return nil, fmt.Errorf("characterize: baseline: %w", err)
 	}
+	agg, aggRuns := exec.SweepMetrics(results)
 	baseline := make(map[machine.CF]core.BaselinePoint, len(results))
 	for i, res := range results {
 		baseline[keys[i]] = core.BaselinePoint{
@@ -128,14 +140,19 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 			n = prof.MaxNodes
 		}
 		res, err := exec.Run(exec.Request{
-			Prof:  prof,
-			Spec:  spec,
-			Class: opts.BaselineClass,
-			Cfg:   machine.Config{Nodes: n, Cores: 1, Freq: prof.FMax()},
-			Seed:  opts.Seed + 7919,
+			Prof:    prof,
+			Spec:    spec,
+			Class:   opts.BaselineClass,
+			Cfg:     machine.Config{Nodes: n, Cores: 1, Freq: prof.FMax()},
+			Seed:    opts.Seed + 7919,
+			Metrics: opts.Metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("characterize: mpiP run: %w", err)
+		}
+		if res.Metrics != nil {
+			agg.Add(res.Metrics.Engine)
+			aggRuns++
 		}
 		report, err = mpip.FromRun(res.Comm, baseIters, res.Time)
 		if err != nil {
@@ -159,10 +176,12 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 		Power:         power.Model,
 	}
 	return &Summary{
-		Inputs:   in,
-		NetPipe:  points,
-		Power:    power,
-		MpiP:     report,
-		Baseline: baseline,
+		Inputs:      in,
+		NetPipe:     points,
+		Power:       power,
+		MpiP:        report,
+		Baseline:    baseline,
+		Metrics:     agg,
+		MetricsRuns: aggRuns,
 	}, nil
 }

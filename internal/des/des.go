@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"hybridperf/internal/metrics"
 )
 
 // abortSignal is the panic value injected into processes when the kernel
@@ -63,6 +65,11 @@ type Kernel struct {
 
 	failure error // first process panic, if any
 	aborted bool
+
+	// mx, when non-nil, receives observability counters. Hot-path hooks
+	// cost one nil check when off; the counters never feed back into
+	// scheduling, so instrumented runs stay bit-for-bit identical.
+	mx *metrics.Engine
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -86,6 +93,16 @@ func (k *Kernel) Events() uint64 { return k.dispatched }
 // the event count.
 func (k *Kernel) Procs() int { return len(k.procs) }
 
+// SetMetrics attaches an observability counter set to the kernel (nil
+// detaches). Several kernels may share one Engine: its counters are
+// atomic, so concurrent sweep workers can aggregate into a single set.
+func (k *Kernel) SetMetrics(m *metrics.Engine) { k.mx = m }
+
+// Metrics returns the attached counter set, or nil when instrumentation
+// is off. Simulated runtimes built on the kernel (omp, mpi) use it to
+// publish their own counters without extra plumbing.
+func (k *Kernel) Metrics() *metrics.Engine { return k.mx }
+
 type event struct {
 	t   float64
 	seq uint64
@@ -94,6 +111,9 @@ type event struct {
 
 // heapPush inserts e into the 4-ary min-heap (sift-up, inlined compare).
 func (k *Kernel) heapPush(e event) {
+	if k.mx != nil {
+		k.mx.HeapHighWater.Observe(uint64(len(k.heap) + 1))
+	}
 	h := append(k.heap, e)
 	i := len(h) - 1
 	for i > 0 {
@@ -221,6 +241,9 @@ func (k *Kernel) spawn(name string, daemon bool, fn func(*Proc)) *Proc {
 func (k *Kernel) handoff() {
 	if !k.aborted && k.failure == nil {
 		if next := k.dispatchNext(); next != nil {
+			if k.mx != nil {
+				k.mx.Handoffs.Inc()
+			}
 			next.resume <- struct{}{}
 			return
 		}
@@ -236,6 +259,13 @@ func (k *Kernel) handoff() {
 // function, avoiding a closure allocation per task.
 func (k *Kernel) Go(name string, fn func(*Proc, any), ctx any) {
 	k.busyGo++
+	if k.mx != nil {
+		if len(k.pool) > 0 {
+			k.mx.PoolHits.Inc()
+		} else {
+			k.mx.PoolSpawns.Inc()
+		}
+	}
 	if n := len(k.pool); n > 0 {
 		p := k.pool[n-1]
 		k.pool = k.pool[:n-1]
@@ -283,9 +313,15 @@ func (p *Proc) park() {
 	k := p.k
 	next := k.dispatchNext()
 	if next == p {
+		if k.mx != nil {
+			k.mx.SelfDispatches.Inc()
+		}
 		return
 	}
 	if next != nil {
+		if k.mx != nil {
+			k.mx.Handoffs.Inc()
+		}
 		next.resume <- struct{}{}
 	} else {
 		k.main <- struct{}{}
@@ -315,6 +351,9 @@ func (p *Proc) Advance(dt float64) {
 		t := k.now + dt
 		if t <= k.horizon && (len(k.heap) == 0 || k.heap[0].t > t) {
 			k.now = t
+			if k.mx != nil {
+				k.mx.Lookaheads.Inc()
+			}
 			return
 		}
 	}
@@ -427,6 +466,9 @@ func (k *Kernel) dispatchNext() *Proc {
 		}
 		ev.p.wakeSeq = 0
 		k.dispatched++
+		if k.mx != nil {
+			k.mx.Events.Inc()
+		}
 		return ev.p
 	}
 }
@@ -445,6 +487,9 @@ func (k *Kernel) dispatchNext() *Proc {
 func (k *Kernel) Run(until float64) error {
 	k.horizon = until
 	if next := k.dispatchNext(); next != nil {
+		if k.mx != nil {
+			k.mx.SchedulerDispatches.Inc()
+		}
 		next.resume <- struct{}{}
 		<-k.main
 	}

@@ -15,6 +15,7 @@ import (
 	"hybridperf/internal/des"
 	"hybridperf/internal/dvfs"
 	"hybridperf/internal/machine"
+	"hybridperf/internal/metrics"
 	"hybridperf/internal/mpi"
 	"hybridperf/internal/node"
 	"hybridperf/internal/omp"
@@ -41,8 +42,16 @@ type Request struct {
 	// that retunes node frequency at iteration boundaries. Cfg.Freq is
 	// the starting level.
 	Governor func(rank int) dvfs.Governor
-	// Trace records per-rank phase timelines into Result.Trace.
+	// Trace records per-rank phase timelines into Result.Trace: every
+	// compute burst, memory stall and network wait of each rank's master
+	// thread, suitable for Gantt rendering, Chrome-trace export and the
+	// measured-UCR derivation.
 	Trace bool
+	// Metrics attaches engine instrumentation to the run's kernel and
+	// fills Result.Metrics with counter snapshots and per-rank phase-time
+	// totals. Off by default; the counters never feed back into the
+	// simulation, so results are bit-identical either way.
+	Metrics bool
 }
 
 // Result is the measurement outcome of one run.
@@ -57,6 +66,14 @@ type Result struct {
 	PerNode        []node.EnergyBreakdown
 
 	Trace []trace.Event // phase timeline (when requested)
+	// MeasuredUCR is the Useful Computation Ratio derived from the
+	// recorded timeline (mean over ranks of master-thread compute time
+	// over the timeline span) — the measured counterpart of the model's
+	// predicted UCR. Zero unless Request.Trace was set.
+	MeasuredUCR float64
+	// Metrics holds engine counter snapshots and per-rank phase times
+	// when Request.Metrics was set.
+	Metrics *metrics.RunMetrics
 
 	Totals      counters.Totals   // cluster-wide counter aggregation
 	Utilization float64           // mean CPU utilisation U
@@ -124,6 +141,14 @@ func Run(req Request) (*Result, error) {
 	var rec *trace.Recorder
 	if req.Trace {
 		rec = trace.NewRecorder(0)
+		for _, nd := range nodes {
+			nd.SetTrace(rec)
+		}
+	}
+	var mx *metrics.Engine
+	if req.Metrics {
+		mx = metrics.NewEngine()
+		k.SetMetrics(mx)
 	}
 
 	var runErr error
@@ -136,7 +161,6 @@ func Run(req Request) (*Result, error) {
 		if req.Governor != nil {
 			env.Governor = req.Governor(i)
 		}
-		env.Trace = rec
 		k.Spawn(rankName(i), func(p *des.Proc) {
 			if err := req.Spec.Run(p, env); err != nil && runErr == nil {
 				runErr = err
@@ -160,12 +184,27 @@ func Run(req Request) (*Result, error) {
 		Trace:   rec.Events(),
 		Engine:  EngineStats{Events: k.Events(), Procs: k.Procs()},
 	}
+	if req.Trace {
+		res.MeasuredUCR = trace.UCR(res.Trace)
+	}
+	if mx != nil {
+		res.Metrics = &metrics.RunMetrics{Engine: mx.Snapshot()}
+	}
 	meterNoise := root.Split("meter")
 	for _, nd := range nodes {
 		e := nd.Energy()
 		res.PerNode = append(res.PerNode, e)
 		res.Energy.Add(e)
 		res.Totals.Add(nd.Totals(res.Time))
+		if res.Metrics != nil {
+			ph := metrics.RankPhases{Rank: nd.ID}
+			for _, c := range nd.Ctrs {
+				ph.Compute += c.WorkTime + c.BStallTime
+				ph.MemStall += c.MemStallTime
+				ph.NetWait += c.NetWaitTime
+			}
+			res.Metrics.Ranks = append(res.Metrics.Ranks, ph)
+		}
 	}
 	res.Utilization = res.Totals.Utilization()
 	res.MeasuredEnergy = res.Energy.Total()
@@ -183,32 +222,49 @@ func Run(req Request) (*Result, error) {
 	return res, nil
 }
 
+// runSafe is Run with panics converted to errors, so one faulty request
+// cannot kill a sweep worker goroutine (taking the whole process down and
+// leaving the other requests unexplained).
+func runSafe(req Request) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("exec: run panicked: %v", r)
+		}
+	}()
+	return Run(req)
+}
+
 // Sweep runs the requests concurrently on up to `workers` goroutines
 // (each simulation has its own kernel, so runs are independent) and
 // returns results in request order. Every request is attempted; a failing
 // sweep reports all failures, one per failing request index, aggregated
-// with errors.Join in request order.
+// with errors.Join in request order. A request that panics (bad
+// configuration reaching an engine invariant) is reported as that
+// request's error rather than crashing the process. The work channel is
+// buffered to the full request count so the producer never blocks: even
+// if a worker died, the remaining workers drain the queue and Sweep
+// terminates.
 func Sweep(reqs []Request, workers int) ([]*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	results := make([]*Result, len(reqs))
 	errs := make([]error, len(reqs))
-	idx := make(chan int)
+	idx := make(chan int, len(reqs))
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = Run(reqs[i])
+				results[i], errs[i] = runSafe(reqs[i])
 			}
 		}()
 	}
-	for i := range reqs {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 	var failed []error
 	for i, err := range errs {
@@ -220,4 +276,19 @@ func Sweep(reqs []Request, workers int) ([]*Result, error) {
 		return nil, errors.Join(failed...)
 	}
 	return results, nil
+}
+
+// SweepMetrics aggregates the engine counter snapshots of a sweep's
+// instrumented results (requests with Metrics set). It returns the summed
+// snapshot and how many results carried metrics.
+func SweepMetrics(results []*Result) (metrics.EngineSnapshot, int) {
+	var agg metrics.EngineSnapshot
+	n := 0
+	for _, r := range results {
+		if r != nil && r.Metrics != nil {
+			agg.Add(r.Metrics.Engine)
+			n++
+		}
+	}
+	return agg, n
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"testing/quick"
 
 	"hybridperf/internal/dvfs"
 	"hybridperf/internal/machine"
@@ -255,6 +256,126 @@ func TestSweepReportsEveryFailure(t *testing.T) {
 	}
 }
 
+// TestSweepRecoversPanics: a request that panics inside Run (here a nil
+// profile dereference) must surface as that request's error — not kill the
+// worker goroutine, crash the process, or deadlock the producer.
+func TestSweepRecoversPanics(t *testing.T) {
+	good := xeonReq(machine.Config{Nodes: 1, Cores: 1, Freq: 1.2e9})
+	panicky := good
+	panicky.Prof = nil
+	// More panicking requests than workers: with a dead worker and an
+	// unbuffered queue this would deadlock; it must terminate and blame
+	// exactly the panicking indexes.
+	_, err := Sweep([]Request{panicky, good, panicky, panicky, good}, 2)
+	if err == nil {
+		t.Fatal("sweep swallowed the panics")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "panicked") {
+		t.Fatalf("error does not mention the panic: %v", err)
+	}
+	for _, want := range []string{"request 0", "request 2", "request 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregate error omits %q: %v", want, err)
+		}
+	}
+	for _, bad := range []string{"request 1", "request 4"} {
+		if strings.Contains(msg, bad) {
+			t.Errorf("aggregate error blames good %s: %v", bad, err)
+		}
+	}
+	// Every request panicking, one worker: still terminates.
+	if _, err := Sweep([]Request{panicky, panicky, panicky}, 1); err == nil {
+		t.Fatal("all-panic sweep swallowed the failures")
+	}
+}
+
+func TestRunMetricsPopulated(t *testing.T) {
+	req := xeonReq(machine.Config{Nodes: 2, Cores: 2, Freq: 1.8e9})
+	req.Metrics = true
+	res, err := Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("Metrics request returned no metrics")
+	}
+	eng := res.Metrics.Engine
+	if eng.Events != res.Engine.Events {
+		t.Fatalf("metrics events %d != engine stats %d", eng.Events, res.Engine.Events)
+	}
+	if got := eng.Handoffs + eng.SelfDispatches + eng.SchedulerDispatches; got != eng.Events {
+		t.Fatalf("dispatch classes sum to %d, want %d", got, eng.Events)
+	}
+	if eng.Regions == 0 || eng.Messages == 0 || eng.HeapHighWater == 0 {
+		t.Fatalf("runtime counters empty: %+v", eng)
+	}
+	if uint64(res.Comm.TotalMsgs) != eng.Messages {
+		t.Fatalf("metrics saw %d messages, comm profile %d", eng.Messages, res.Comm.TotalMsgs)
+	}
+	if len(res.Metrics.Ranks) != 2 {
+		t.Fatalf("%d rank phase records, want 2", len(res.Metrics.Ranks))
+	}
+	for _, ph := range res.Metrics.Ranks {
+		if ph.Compute <= 0 || ph.MemStall <= 0 {
+			t.Fatalf("rank %d phases empty: %+v", ph.Rank, ph)
+		}
+	}
+	// Plain runs carry none.
+	req.Metrics = false
+	plain, err := Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != nil {
+		t.Fatal("uninstrumented run carries metrics")
+	}
+}
+
+// Property: instrumentation observes without perturbing — metrics-on and
+// metrics-off runs of the same request report bit-identical time/energy.
+func TestMetricsDoNotPerturb(t *testing.T) {
+	f := func(seed, n, c uint8) bool {
+		req := xeonReq(machine.Config{
+			Nodes: int(n%4) + 1, Cores: int(c%4) + 1, Freq: 1.8e9,
+		})
+		req.Seed = int64(seed)
+		plain, err1 := Run(req)
+		req.Metrics = true
+		req.Trace = true
+		inst, err2 := Run(req)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return plain.Time == inst.Time &&
+			plain.Energy == inst.Energy &&
+			plain.MeasuredEnergy == inst.MeasuredEnergy &&
+			plain.Totals == inst.Totals
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepMetricsAggregates(t *testing.T) {
+	req := xeonReq(machine.Config{Nodes: 2, Cores: 2, Freq: 1.5e9})
+	req.Metrics = true
+	plain := req
+	plain.Metrics = false
+	results, err := Sweep([]Request{req, plain, req}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, n := SweepMetrics(results)
+	if n != 2 {
+		t.Fatalf("%d instrumented results, want 2", n)
+	}
+	want := results[0].Metrics.Engine.Events + results[2].Metrics.Engine.Events
+	if agg.Events != want {
+		t.Fatalf("aggregate events %d, want %d", agg.Events, want)
+	}
+}
+
 func TestCommProfilePresence(t *testing.T) {
 	single, err := Run(xeonReq(machine.Config{Nodes: 1, Cores: 2, Freq: 1.8e9}))
 	if err != nil {
@@ -375,22 +496,36 @@ func TestTraceRecordsPhases(t *testing.T) {
 		t.Fatal("no trace events recorded")
 	}
 	iters, _ := workload.SP().Iterations(workload.ClassTest)
-	// Each rank records one compute phase per iteration; network phases
-	// appear only when the communication was not fully hidden (zero-length
-	// phases are dropped).
-	minWant := 2 * iters
-	if len(res.Trace) < minWant || len(res.Trace) > 2*minWant {
-		t.Fatalf("%d trace events, want in [%d, %d]", len(res.Trace), minWant, 2*minWant)
+	// The engine records each master-thread burst: per rank per iteration,
+	// at least one compute and one memory-stall event, at most the burst
+	// cap (8) of each plus one network wait (zero-length phases drop).
+	minWant := 2 * iters * 2
+	maxWant := 2 * iters * (8 + 8 + 1)
+	if len(res.Trace) < minWant || len(res.Trace) > maxWant {
+		t.Fatalf("%d trace events, want in [%d, %d]", len(res.Trace), minWant, maxWant)
 	}
 	sum := trace.Summary(res.Trace)
 	for rank := 0; rank < 2; rank++ {
 		if sum[rank][trace.Compute] <= 0 {
 			t.Fatalf("rank %d has no compute time", rank)
 		}
-		total := sum[rank][trace.Compute] + sum[rank][trace.Network]
+		if sum[rank][trace.MemStall] <= 0 {
+			t.Fatalf("rank %d has no memory-stall time", rank)
+		}
+		// Master-thread phases are sequential, so they cannot exceed the
+		// makespan.
+		total := sum[rank][trace.Compute] + sum[rank][trace.MemStall] + sum[rank][trace.Network]
 		if total > res.Time*1.0001 {
 			t.Fatalf("rank %d phases (%g) exceed the run time (%g)", rank, total, res.Time)
 		}
+	}
+	// The reported measured UCR is exactly the trace-derived one and lies
+	// in (0, 1] like any time fraction.
+	if res.MeasuredUCR != trace.UCR(res.Trace) {
+		t.Fatalf("MeasuredUCR %g != trace.UCR %g", res.MeasuredUCR, trace.UCR(res.Trace))
+	}
+	if res.MeasuredUCR <= 0 || res.MeasuredUCR > 1 {
+		t.Fatalf("MeasuredUCR = %g, want in (0,1]", res.MeasuredUCR)
 	}
 	// Untraced runs carry no events.
 	req.Trace = false

@@ -113,6 +113,23 @@ func TestGoldenDeterminism(t *testing.T) {
 				res2.MeasuredEnergy != res.MeasuredEnergy || res2.Comm != res.Comm {
 				t.Fatalf("rerun of %s diverged: %+v vs %+v", name, res2, res)
 			}
+			// Instrumentation must observe without perturbing: the same
+			// request with tracing and metrics on reproduces every value
+			// bit for bit.
+			inst := req
+			inst.Trace = true
+			inst.Metrics = true
+			res3, err := Run(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res3.Time != res.Time || res3.Energy != res.Energy ||
+				res3.MeasuredEnergy != res.MeasuredEnergy || res3.Comm != res.Comm {
+				t.Fatalf("instrumentation perturbed %s: %+v vs %+v", name, res3, res)
+			}
+			if len(res3.Trace) == 0 || res3.Metrics == nil {
+				t.Fatalf("instrumented run recorded nothing")
+			}
 			if gen {
 				fmt.Printf("\t%q: {Time: %q, Energy: %q, Measured: %q, Msgs: %d, Bytes: %q, Wait: %q},\n",
 					name, got.Time, got.Energy, got.Measured, got.Msgs, got.Bytes, got.Wait)
@@ -126,5 +143,40 @@ func TestGoldenDeterminism(t *testing.T) {
 				t.Errorf("golden mismatch for %s:\n got  %+v\n want %+v", name, got, want)
 			}
 		})
+	}
+}
+
+// TestGoldenSweepParallel drives every golden configuration through
+// exec.Sweep with several workers and asserts byte-identical results to a
+// serial sweep — the determinism contract must survive scheduling onto
+// arbitrary OS threads (CI runs this under -race).
+func TestGoldenSweepParallel(t *testing.T) {
+	cases := goldenCases()
+	var names []string
+	var reqs []Request
+	for name, req := range cases {
+		names = append(names, name)
+		reqs = append(reqs, req)
+	}
+	serial, err := Sweep(reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(reqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		s, p := serial[i], parallel[i]
+		if p.Time != s.Time || p.Energy != s.Energy ||
+			p.MeasuredEnergy != s.MeasuredEnergy || p.Comm != s.Comm {
+			t.Errorf("%s diverged across worker counts:\n serial   %+v\n parallel %+v",
+				names[i], s, p)
+		}
+		if want, ok := golden[names[i]]; ok {
+			if hexf(p.Time) != want.Time || hexf(p.Energy.Total()) != want.Energy {
+				t.Errorf("%s parallel sweep drifted from golden values", names[i])
+			}
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"hybridperf/internal/core"
 	"hybridperf/internal/exec"
 	"hybridperf/internal/machine"
+	"hybridperf/internal/metrics"
 	"hybridperf/internal/workload"
 )
 
@@ -26,6 +27,9 @@ type Config struct {
 	Seed    int64
 	Workers int  // simulation parallelism (default: GOMAXPROCS)
 	Fast    bool // reduced grids and input class, for tests
+	// Metrics instruments every simulation the runner launches; the
+	// aggregate engine counters are available from Runner.Metrics.
+	Metrics bool
 }
 
 func (c *Config) fill() {
@@ -48,9 +52,11 @@ type Artifact struct {
 type Runner struct {
 	cfg Config
 
-	mu    sync.Mutex
-	chars map[string]*charEntry
-	runs  map[runKey]*exec.Result
+	mu     sync.Mutex
+	chars  map[string]*charEntry
+	runs   map[runKey]*exec.Result
+	mx     metrics.EngineSnapshot // summed over instrumented simulations
+	mxRuns int
 }
 
 type charEntry struct {
@@ -97,6 +103,7 @@ func (r *Runner) characterization(prof *machine.Profile, spec *workload.Spec) (*
 	sum, err := characterize.Run(prof, spec, characterize.Options{
 		Seed:    r.cfg.Seed,
 		Workers: r.cfg.Workers,
+		Metrics: r.cfg.Metrics,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: characterize %s on %s: %w", spec.Name, prof.Name, err)
@@ -106,6 +113,10 @@ func (r *Runner) characterization(prof *machine.Profile, spec *workload.Spec) (*
 		return nil, nil, err
 	}
 	r.mu.Lock()
+	if _, dup := r.chars[key]; !dup {
+		r.mx.Add(sum.Metrics)
+		r.mxRuns += sum.MetricsRuns
+	}
 	r.chars[key] = &charEntry{sum: sum, model: model}
 	r.mu.Unlock()
 	return sum, model, nil
@@ -126,11 +137,12 @@ func (r *Runner) measure(prof *machine.Profile, spec *workload.Spec, class workl
 		}
 		missing = append(missing, i)
 		reqs = append(reqs, exec.Request{
-			Prof:  prof,
-			Spec:  spec,
-			Class: class,
-			Cfg:   cfg,
-			Seed:  r.cfg.Seed + measureSeed(key),
+			Prof:    prof,
+			Spec:    spec,
+			Class:   class,
+			Cfg:     cfg,
+			Seed:    r.cfg.Seed + measureSeed(key),
+			Metrics: r.cfg.Metrics,
 		})
 	}
 	r.mu.Unlock()
@@ -142,11 +154,27 @@ func (r *Runner) measure(prof *machine.Profile, spec *workload.Spec, class workl
 		r.mu.Lock()
 		for j, i := range missing {
 			out[i] = results[j]
-			r.runs[runKey{prof.Name, spec.Name, class, cfgs[i]}] = results[j]
+			key := runKey{prof.Name, spec.Name, class, cfgs[i]}
+			if _, dup := r.runs[key]; !dup && results[j].Metrics != nil {
+				// Aggregate at cache-insert time so a run contributes
+				// once however many artifacts reuse it.
+				r.mx.Add(results[j].Metrics.Engine)
+				r.mxRuns++
+			}
+			r.runs[key] = results[j]
 		}
 		r.mu.Unlock()
 	}
 	return out, nil
+}
+
+// Metrics returns the summed engine-counter snapshot over every distinct
+// instrumented simulation the runner has launched so far, and how many
+// contributed. Zero unless Config.Metrics is set.
+func (r *Runner) Metrics() (metrics.EngineSnapshot, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mx, r.mxRuns
 }
 
 // measureSeed derives a stable per-run seed offset from the run key so

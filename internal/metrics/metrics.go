@@ -1,0 +1,214 @@
+// Package metrics provides the simulator's observability primitives:
+// lock-free atomic counters, high-water gauges and power-of-two histograms
+// cheap enough to live on the DES hot path, plus the aggregate views the
+// run/sweep drivers report. Instrumentation is off by default — a kernel
+// with no Engine attached pays one nil check per hook — and never feeds
+// back into the simulation, so metrics-on and metrics-off runs are
+// bit-for-bit identical.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use. Atomic operations make one Engine shareable across the
+// kernels of a concurrent sweep.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// HighWater tracks the maximum value ever observed. The zero value is
+// ready to use.
+type HighWater struct{ v atomic.Uint64 }
+
+// Observe raises the high-water mark to v if v exceeds it.
+func (h *HighWater) Observe(v uint64) {
+	for {
+		cur := h.v.Load()
+		if v <= cur || h.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (h *HighWater) Load() uint64 { return h.v.Load() }
+
+// HistBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with floor(log2(v)) == i (bucket 0 takes 0 and 1),
+// and the last bucket absorbs everything at or above 2^(HistBuckets-1).
+const HistBuckets = 28
+
+// Histogram is a fixed power-of-two-bucketed histogram of uint64
+// observations. The zero value is ready to use.
+type Histogram struct{ buckets [HistBuckets]atomic.Uint64 }
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v uint64) int {
+	if v < 2 {
+		return 0
+	}
+	b := bits.Len64(v) - 1
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) { h.buckets[bucketOf(v)].Add(1) }
+
+// Snapshot returns the bucket counts.
+func (h *Histogram) Snapshot() (out [HistBuckets]uint64) {
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// HistString renders the non-empty buckets of a histogram snapshot as
+// "[lo,hi):count" pairs, e.g. "[256,512):12 [512,1024):3".
+func HistString(buckets [HistBuckets]uint64) string {
+	var parts []string
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i)
+		}
+		if i == HistBuckets-1 {
+			parts = append(parts, fmt.Sprintf("[%d,inf):%d", lo, n))
+		} else {
+			parts = append(parts, fmt.Sprintf("[%d,%d):%d", lo, uint64(1)<<uint(i+1), n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Engine is the live counter set a DES kernel (and the simulated runtimes
+// on top of it) writes while instrumentation is on. One Engine may be
+// shared by several kernels — every field is atomic.
+type Engine struct {
+	// Kernel dispatch accounting. Events = Handoffs + SelfDispatches +
+	// SchedulerDispatches: every dispatched event is classified by who
+	// performed the dispatch (a parking/exiting process handing control
+	// straight to the next process, the process itself via the park fast
+	// path, or the Run caller). Lookahead advances bypass the event queue
+	// entirely and are counted separately.
+	Events              Counter   // events dispatched by the kernel
+	Handoffs            Counter   // direct process-to-process handoffs
+	SelfDispatches      Counter   // park fast path: next event was the parker's own
+	SchedulerDispatches Counter   // dispatches performed by the Run caller
+	Lookaheads          Counter   // Advance fast path: clock moved, no event
+	HeapHighWater       HighWater // deepest future-event heap observed
+
+	// Pooled task runners (Kernel.Go).
+	PoolHits   Counter // tasks served by a parked pooled runner
+	PoolSpawns Counter // tasks that had to spawn a fresh runner
+
+	// Simulated runtimes.
+	Regions  Counter   // OpenMP parallel regions executed
+	Messages Counter   // MPI messages posted
+	MsgBytes Histogram // MPI message sizes [B]
+}
+
+// NewEngine returns an empty engine counter set.
+func NewEngine() *Engine { return &Engine{} }
+
+// Snapshot captures the current counter values.
+func (e *Engine) Snapshot() EngineSnapshot {
+	return EngineSnapshot{
+		Events:              e.Events.Load(),
+		Handoffs:            e.Handoffs.Load(),
+		SelfDispatches:      e.SelfDispatches.Load(),
+		SchedulerDispatches: e.SchedulerDispatches.Load(),
+		Lookaheads:          e.Lookaheads.Load(),
+		HeapHighWater:       e.HeapHighWater.Load(),
+		PoolHits:            e.PoolHits.Load(),
+		PoolSpawns:          e.PoolSpawns.Load(),
+		Regions:             e.Regions.Load(),
+		Messages:            e.Messages.Load(),
+		MsgBytes:            e.MsgBytes.Snapshot(),
+	}
+}
+
+// EngineSnapshot is a plain-value copy of an Engine's counters, suitable
+// for aggregation across the runs of a sweep.
+type EngineSnapshot struct {
+	Events              uint64
+	Handoffs            uint64
+	SelfDispatches      uint64
+	SchedulerDispatches uint64
+	Lookaheads          uint64
+	HeapHighWater       uint64
+	PoolHits            uint64
+	PoolSpawns          uint64
+	Regions             uint64
+	Messages            uint64
+	MsgBytes            [HistBuckets]uint64
+}
+
+// Add accumulates another snapshot: counters sum, high-water marks take
+// the maximum.
+func (s *EngineSnapshot) Add(o EngineSnapshot) {
+	s.Events += o.Events
+	s.Handoffs += o.Handoffs
+	s.SelfDispatches += o.SelfDispatches
+	s.SchedulerDispatches += o.SchedulerDispatches
+	s.Lookaheads += o.Lookaheads
+	if o.HeapHighWater > s.HeapHighWater {
+		s.HeapHighWater = o.HeapHighWater
+	}
+	s.PoolHits += o.PoolHits
+	s.PoolSpawns += o.PoolSpawns
+	s.Regions += o.Regions
+	s.Messages += o.Messages
+	for i := range s.MsgBytes {
+		s.MsgBytes[i] += o.MsgBytes[i]
+	}
+}
+
+// String renders a compact multi-line human summary.
+func (s EngineSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events       %d dispatched (%d handoff, %d self, %d scheduler) + %d lookahead advances\n",
+		s.Events, s.Handoffs, s.SelfDispatches, s.SchedulerDispatches, s.Lookaheads)
+	fmt.Fprintf(&b, "event heap   %d deep at high water\n", s.HeapHighWater)
+	fmt.Fprintf(&b, "task pool    %d reuse hits, %d spawns\n", s.PoolHits, s.PoolSpawns)
+	fmt.Fprintf(&b, "omp          %d parallel regions\n", s.Regions)
+	fmt.Fprintf(&b, "mpi          %d messages, size histogram %s\n", s.Messages, HistString(s.MsgBytes))
+	return b.String()
+}
+
+// RankPhases is one rank's virtual-time split across the phases the
+// paper's time model separates: useful computation (work plus non-memory
+// pipeline stalls — the model's T_CPU numerator), memory stalls, and
+// network waits. Times are summed over the rank's cores, in seconds.
+type RankPhases struct {
+	Rank     int
+	Compute  float64 // work + non-memory pipeline stalls [s]
+	MemStall float64 // stalled on the memory controller [s]
+	NetWait  float64 // blocked on communication [s]
+}
+
+// RunMetrics is the observability record of one measurement run.
+type RunMetrics struct {
+	Engine EngineSnapshot
+	Ranks  []RankPhases // per-rank phase time split, rank order
+}

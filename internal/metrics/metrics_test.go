@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestHighWater(t *testing.T) {
+	var h HighWater
+	for _, v := range []uint64{3, 9, 2, 9, 5} {
+		h.Observe(v)
+	}
+	if got := h.Load(); got != 9 {
+		t.Fatalf("high water = %d, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10},
+		{1 << 40, HistBuckets - 1}, // overflow absorbs into the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(300)
+	s := h.Snapshot()
+	if s[0] != 2 || s[8] != 1 {
+		t.Fatalf("snapshot %v", s)
+	}
+	str := HistString(s)
+	if !strings.Contains(str, "[0,2):2") || !strings.Contains(str, "[256,512):1") {
+		t.Fatalf("HistString = %q", str)
+	}
+	if HistString([HistBuckets]uint64{}) != "(empty)" {
+		t.Fatal("empty histogram rendering")
+	}
+}
+
+func TestEngineSnapshotAdd(t *testing.T) {
+	a := EngineSnapshot{Events: 10, Handoffs: 4, HeapHighWater: 7, Messages: 2}
+	b := EngineSnapshot{Events: 5, Handoffs: 1, HeapHighWater: 3, Messages: 8}
+	b.MsgBytes[2] = 8
+	a.Add(b)
+	if a.Events != 15 || a.Handoffs != 5 || a.Messages != 10 {
+		t.Fatalf("sums wrong: %+v", a)
+	}
+	if a.HeapHighWater != 7 {
+		t.Fatalf("high water should take the max, got %d", a.HeapHighWater)
+	}
+	if a.MsgBytes[2] != 8 {
+		t.Fatalf("histogram buckets must sum: %v", a.MsgBytes)
+	}
+}
+
+func TestEngineSnapshotString(t *testing.T) {
+	var e Engine
+	e.Events.Add(3)
+	e.Messages.Inc()
+	e.MsgBytes.Observe(100)
+	s := e.Snapshot().String()
+	for _, want := range []string{"3 dispatched", "1 messages", "[64,128):1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("snapshot string lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+// An Engine must tolerate concurrent writers: one shared Engine can be
+// attached to the kernels of a parallel sweep.
+func TestEngineConcurrentWriters(t *testing.T) {
+	e := NewEngine()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				e.Events.Inc()
+				e.HeapHighWater.Observe(uint64(w*perWorker + i))
+				e.MsgBytes.Observe(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := e.Snapshot()
+	if s.Events != workers*perWorker {
+		t.Fatalf("events = %d, want %d", s.Events, workers*perWorker)
+	}
+	if s.HeapHighWater != workers*perWorker-1 {
+		t.Fatalf("high water = %d", s.HeapHighWater)
+	}
+	var total uint64
+	for _, n := range s.MsgBytes {
+		total += n
+	}
+	if total != workers*perWorker {
+		t.Fatalf("histogram total = %d", total)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"hybridperf/internal/des"
 	"hybridperf/internal/machine"
 	"hybridperf/internal/rng"
+	"hybridperf/internal/trace"
 )
 
 // CoreState is a core's instantaneous activity class for power accounting.
@@ -37,6 +38,14 @@ type Node struct {
 	Ctrs   []counters.Core
 
 	jitter *rng.Stream
+
+	// rec, when non-nil, receives the node's phase timeline for core 0 —
+	// the rank's master thread, which is the per-process view the paper's
+	// timelines show. Worker-thread cores are covered by the aggregate
+	// counters instead; recording them too would overlay concurrent
+	// events on one rank row and double-count phase time. Recording never
+	// feeds back into the simulation.
+	rec *trace.Recorder
 
 	// Power integration. pAct/pStall cache the profile's per-core power at
 	// the current frequency: integrate runs on every core state
@@ -125,6 +134,10 @@ func (n *Node) SetFreq(f float64) {
 // Profile returns the node's hardware profile.
 func (n *Node) Profile() *machine.Profile { return n.prof }
 
+// SetTrace attaches a phase-timeline recorder (nil detaches). The node
+// records its master thread (core 0) under its node id as the rank.
+func (n *Node) SetTrace(rec *trace.Recorder) { n.rec = rec }
+
 // integrate advances the power integrator to the current virtual time.
 func (n *Node) integrate() {
 	now := n.k.Now()
@@ -197,6 +210,7 @@ func (n *Node) Compute(p *des.Proc, core int, units, bFrac float64) {
 	}
 	workT := units * n.prof.CyclesPerWork / n.freq * j
 	bT := workT * bFrac * n.prof.BaseStallFrac
+	start := n.k.Now()
 	n.setState(core, Act)
 	p.Advance(workT + bT)
 	c := &n.Ctrs[core]
@@ -204,6 +218,9 @@ func (n *Node) Compute(p *des.Proc, core int, units, bFrac float64) {
 	c.BStallTime += bT
 	c.Instructions += units * j
 	n.setState(core, Idle)
+	if n.rec != nil && core == 0 {
+		n.rec.Add(n.ID, trace.Compute, start, n.k.Now())
+	}
 }
 
 // MemAccess stalls the given core on a memory burst of the given DRAM
@@ -216,6 +233,7 @@ func (n *Node) MemAccess(p *des.Proc, core int, bytes float64) {
 	if bytes <= 0 {
 		return
 	}
+	start := n.k.Now()
 	n.setState(core, Stall)
 	private := bytes*(1/n.prof.MemCoreBandwidth-1/n.prof.MemBandwidth) + n.prof.MemFixedLat
 	if private > 0 {
@@ -225,6 +243,9 @@ func (n *Node) MemAccess(p *des.Proc, core int, bytes float64) {
 	wait := n.memctl.Serve(p, shared)
 	n.Ctrs[core].MemStallTime += private + wait + shared
 	n.setState(core, Idle)
+	if n.rec != nil && core == 0 {
+		n.rec.Add(n.ID, trace.MemStall, start, n.k.Now())
+	}
 }
 
 // NetWait blocks the core-owning process in fn (typically a Recv) and
@@ -247,6 +268,9 @@ func (n *Node) NetWaitBegin(core int) float64 {
 // NetWaitEnd accounts the elapsed network wait begun at start.
 func (n *Node) NetWaitEnd(core int, start float64) {
 	n.Ctrs[core].NetWaitTime += n.k.Now() - start
+	if n.rec != nil && core == 0 {
+		n.rec.Add(n.ID, trace.Network, start, n.k.Now())
+	}
 }
 
 // MemStats exposes the memory controller's queueing statistics.

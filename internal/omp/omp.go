@@ -67,6 +67,9 @@ func (th *Thread) MemAccess(bytes float64) {
 // implicit barrier. The master runs body inline as tid 0; worker threads
 // are pooled daemon processes woken per region (spawned on the first).
 func (t *Team) Parallel(p *des.Proc, body func(th *Thread)) {
+	if m := t.k.Metrics(); m != nil {
+		m.Regions.Inc()
+	}
 	n := t.Size()
 	t.body = body
 	t.done = 0

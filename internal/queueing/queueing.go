@@ -51,14 +51,35 @@ func MM1Wait(lambda, meanService float64) (float64, error) {
 // Utilization returns ρ = λ·s, the offered load of a single-server queue.
 func Utilization(lambda, meanService float64) float64 { return lambda * meanService }
 
+// maxClampRho is the tightest utilisation cap ClampedMG1Wait accepts: a
+// maxRho at or above 1 would defeat the clamp's purpose (the P-K
+// denominator 1-ρ reaches zero) and is pulled back to this bound.
+const maxClampRho = 1 - 1e-9
+
 // ClampedMG1Wait behaves like MG1Wait but caps the utilisation at maxRho
 // (e.g. 0.99) instead of failing, which is the pragmatic choice when a
 // model sweep crosses into saturation: the predicted wait grows very large
 // but stays finite, keeping Pareto sweeps total. It also returns the
 // (possibly clamped) utilisation.
+//
+// Edge cases are defined so the result is always finite and non-negative:
+// non-finite or negative inputs, and lambda == 0, yield (0, 0); a
+// zero mean service time with a positive second moment is an
+// instantaneous-but-variable server, for which ρ = 0 and the P-K formula
+// still charges W = λ·E[Y²]/2; a maxRho at or above 1 (or non-positive,
+// or NaN) is pulled into (0, 1) so the denominator can never reach zero.
 func ClampedMG1Wait(lambda, meanService, secondMoment, maxRho float64) (wait, rho float64) {
-	if lambda <= 0 || meanService <= 0 {
+	if !finiteNonNeg(lambda) || !finiteNonNeg(meanService) || !finiteNonNeg(secondMoment) {
 		return 0, 0
+	}
+	if lambda == 0 {
+		return 0, 0
+	}
+	if !(maxRho > 0) || maxRho > maxClampRho { // also catches NaN
+		maxRho = maxClampRho
+	}
+	if meanService == 0 {
+		return lambda * secondMoment / 2, 0
 	}
 	rho = lambda * meanService
 	if rho > maxRho {
@@ -67,6 +88,11 @@ func ClampedMG1Wait(lambda, meanService, secondMoment, maxRho float64) (wait, rh
 		rho = maxRho
 	}
 	return lambda * secondMoment / (2 * (1 - rho)), rho
+}
+
+// finiteNonNeg reports whether x is a finite, non-negative number.
+func finiteNonNeg(x float64) bool {
+	return x >= 0 && !math.IsInf(x, 1)
 }
 
 // FixedPoint iterates x = f(x) from x0 until successive iterates differ by

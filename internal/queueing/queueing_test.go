@@ -120,6 +120,76 @@ func TestClampedMG1Wait(t *testing.T) {
 	}
 }
 
+func TestClampedMG1WaitZeroServiceMean(t *testing.T) {
+	// An instantaneous-but-variable server: rho = 0, but the P-K formula
+	// still charges lambda*E[Y^2]/2. The old behaviour silently returned
+	// (0, 0), hiding real queueing delay.
+	w, rho := ClampedMG1Wait(4, 0, 0.5, 0.98)
+	if rho != 0 {
+		t.Fatalf("rho = %g, want 0", rho)
+	}
+	if want := 4 * 0.5 / 2.0; math.Abs(w-want) > 1e-12 {
+		t.Fatalf("wait = %g, want %g", w, want)
+	}
+	// Degenerate all-zero service is genuinely waitless.
+	if w, rho := ClampedMG1Wait(4, 0, 0, 0.98); w != 0 || rho != 0 {
+		t.Fatalf("zero service/moment gave (%g,%g)", w, rho)
+	}
+}
+
+func TestClampedMG1WaitBadMaxRho(t *testing.T) {
+	// maxRho >= 1 would let the P-K denominator reach zero; it must be
+	// pulled below 1 so the wait stays finite for any saturating load.
+	for _, bad := range []float64{1, 1.5, math.Inf(1), 0, -0.3, math.NaN()} {
+		w, rho := ClampedMG1Wait(10, 1, 1, bad)
+		if math.IsInf(w, 0) || math.IsNaN(w) || w < 0 {
+			t.Fatalf("maxRho=%g: wait = %g", bad, w)
+		}
+		if !(rho < 1) {
+			t.Fatalf("maxRho=%g: clamped rho = %g, want < 1", bad, rho)
+		}
+	}
+	// A valid sub-saturation cap is respected as given.
+	if _, rho := ClampedMG1Wait(10, 1, 1, 0.5); rho != 0.5 {
+		t.Fatalf("rho = %g, want 0.5", rho)
+	}
+}
+
+func TestClampedMG1WaitNonFiniteInputs(t *testing.T) {
+	cases := [][4]float64{
+		{math.NaN(), 1, 1, 0.98},
+		{math.Inf(1), 1, 1, 0.98},
+		{1, math.NaN(), 1, 0.98},
+		{1, math.Inf(1), 1, 0.98},
+		{1, 1, math.NaN(), 0.98},
+		{1, 1, math.Inf(1), 0.98},
+		{-1, 1, 1, 0.98},
+		{1, -1, 1, 0.98},
+		{1, 1, -1, 0.98},
+	}
+	for _, c := range cases {
+		if w, rho := ClampedMG1Wait(c[0], c[1], c[2], c[3]); w != 0 || rho != 0 {
+			t.Fatalf("ClampedMG1Wait(%v) = (%g,%g), want (0,0)", c, w, rho)
+		}
+	}
+}
+
+// Property: the clamped wait is always finite and non-negative, whatever
+// the load and cap — the totality guarantee Pareto sweeps rely on.
+func TestClampedMG1WaitTotal(t *testing.T) {
+	f := func(a, s, m, r uint8) bool {
+		lambda := float64(a) / 8
+		service := float64(s) / 64
+		m2 := float64(m) / 32
+		maxRho := float64(r) / 128 // spans [0, ~2): includes invalid caps
+		w, rho := ClampedMG1Wait(lambda, service, m2, maxRho)
+		return !math.IsNaN(w) && !math.IsInf(w, 0) && w >= 0 && rho >= 0 && rho < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFixedPointConverges(t *testing.T) {
 	// x = 1 + x/2 has fixed point 2.
 	x, ok := FixedPoint(func(x float64) float64 { return 1 + x/2 }, 0, 1e-12, 200)

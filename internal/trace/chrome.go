@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome-trace (catapult "Trace Event Format") export: the JSON object
+// format with one complete event ("ph":"X") per recorded phase, loadable
+// in chrome://tracing and Perfetto. Virtual seconds map to microseconds
+// (the format's native unit), ranks map to thread ids under a single
+// "cluster" process, and a metadata event names each rank's row.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the events as a Chrome-trace JSON object. Events are
+// emitted in insertion order (the format does not require sorting); rank
+// name metadata rows come first so the viewer labels threads immediately.
+func WriteChrome(w io.Writer, events []Event) error {
+	const pid = 0
+	ranks := map[int]bool{}
+	for _, e := range events {
+		ranks[e.Rank] = true
+	}
+	var ids []int
+	for r := range ranks {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+
+	out := chromeFile{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+len(ids))}
+	for _, r := range ids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	const usPerSec = 1e6
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  "phase",
+			Ph:   "X",
+			Ts:   e.Start * usPerSec,
+			Dur:  e.Duration() * usPerSec,
+			Pid:  pid,
+			Tid:  e.Rank,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeDoc mirrors the exported object shape for round-trip decoding.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChrome(t *testing.T) {
+	events := []Event{
+		{Rank: 1, Kind: Compute, Start: 0, End: 0.5},
+		{Rank: 0, Kind: Network, Start: 0.5, End: 0.75},
+		{Rank: 0, Kind: MemStall, Start: 0.75, End: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	// Two rank-name metadata rows (ranks 0 and 1, sorted), then the phases.
+	if len(doc.TraceEvents) != 2+len(events) {
+		t.Fatalf("%d trace events, want %d", len(doc.TraceEvents), 2+len(events))
+	}
+	meta0 := doc.TraceEvents[0]
+	if meta0.Ph != "M" || meta0.Name != "thread_name" || meta0.Tid != 0 {
+		t.Fatalf("first metadata row: %+v", meta0)
+	}
+	if name, _ := meta0.Args["name"].(string); !strings.Contains(name, "0") {
+		t.Fatalf("rank 0 label %q", name)
+	}
+	first := doc.TraceEvents[2]
+	if first.Ph != "X" || first.Name != "compute" || first.Cat != "phase" {
+		t.Fatalf("first phase event: %+v", first)
+	}
+	if first.Tid != 1 || first.Ts != 0 || first.Dur != 0.5e6 {
+		t.Fatalf("virtual seconds must map to microseconds: %+v", first)
+	}
+	last := doc.TraceEvents[4]
+	if last.Name != "memstall" || last.Ts != 0.75e6 || last.Dur != 0.25e6 {
+		t.Fatalf("last phase event: %+v", last)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty timeline produced %d events", len(doc.TraceEvents))
+	}
+}

@@ -17,8 +17,10 @@ import (
 type Kind int
 
 const (
-	Compute Kind = iota // OpenMP parallel region (includes memory stalls)
-	Network             // MPI communication (collectives, halo waits)
+	Compute  Kind = iota // executing work + non-memory pipeline stalls (the model's T_CPU)
+	Network              // MPI communication wait (collectives, halo waits)
+	MemStall             // stalled on the node's memory controller
+	numKinds
 )
 
 // mark is the Gantt glyph per kind.
@@ -28,6 +30,8 @@ func (k Kind) mark() byte {
 		return '#'
 	case Network:
 		return '~'
+	case MemStall:
+		return '='
 	}
 	return '?'
 }
@@ -39,6 +43,8 @@ func (k Kind) String() string {
 		return "compute"
 	case Network:
 		return "network"
+	case MemStall:
+		return "memstall"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -57,8 +63,9 @@ func (e Event) Duration() float64 { return e.End - e.Start }
 // *Recorder safely ignores Add calls, so instrumentation sites need no
 // conditionals.
 type Recorder struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	dropped int
 }
 
 // NewRecorder creates a recorder holding at most limit events (<= 0 means
@@ -71,9 +78,28 @@ func NewRecorder(limit int) *Recorder {
 	return &Recorder{limit: limit}
 }
 
-// Add records one phase. No-op on a nil recorder or zero-length phases.
+// Add records one phase. It is a no-op on a nil recorder and on
+// zero-length phases (an instrumentation site observing nothing). A
+// malformed event — negative rank, a kind outside the defined set,
+// non-finite or negative timestamps, or End < Start — would corrupt the
+// Gantt layout and the UCR accounting downstream, so it is rejected and
+// counted in Dropped instead of being stored; events past the capacity
+// limit are likewise dropped and counted.
 func (r *Recorder) Add(rank int, kind Kind, start, end float64) {
-	if r == nil || end <= start || len(r.events) >= r.limit {
+	if r == nil {
+		return
+	}
+	if rank < 0 || kind < 0 || kind >= numKinds ||
+		math.IsNaN(start) || math.IsInf(start, 0) || start < 0 ||
+		math.IsNaN(end) || math.IsInf(end, 0) || end < start {
+		r.dropped++
+		return
+	}
+	if end == start {
+		return
+	}
+	if len(r.events) >= r.limit {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, Event{Rank: rank, Kind: kind, Start: start, End: end})
@@ -85,6 +111,16 @@ func (r *Recorder) Events() []Event {
 		return nil
 	}
 	return r.events
+}
+
+// Dropped reports how many events were rejected as malformed or discarded
+// past the capacity limit (zero-length phases are not counted: dropping
+// them loses no information).
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
 }
 
 // Summary aggregates total duration per (rank, kind).
@@ -100,8 +136,9 @@ func Summary(events []Event) map[int]map[Kind]float64 {
 }
 
 // Gantt renders the events as one timeline row per rank over `width`
-// columns: '#' compute, '~' network wait, ' ' idle. Overlapping events of
-// different kinds in one cell resolve to the kind covering more of it.
+// columns: '#' compute, '=' memory stall, '~' network wait, ' ' idle.
+// Overlapping events of different kinds in one cell resolve to the kind
+// covering more of it (ties favour the lower-numbered kind).
 func Gantt(events []Event, width int) string {
 	if len(events) == 0 {
 		return "(no events)\n"
@@ -128,7 +165,7 @@ func Gantt(events []Event, width int) string {
 	cell := float64(width) / tMax
 	var b strings.Builder
 	for _, rank := range ids {
-		cover := make([][2]float64, width) // [compute, network] coverage
+		cover := make([][numKinds]float64, width) // per-kind coverage
 		for _, e := range events {
 			if e.Rank != rank {
 				continue
@@ -147,18 +184,49 @@ func Gantt(events []Event, width int) string {
 		}
 		row := make([]byte, width)
 		for c := range row {
-			switch {
-			case cover[c][0] == 0 && cover[c][1] == 0:
-				row[c] = ' '
-			case cover[c][0] >= cover[c][1]:
-				row[c] = Compute.mark()
-			default:
-				row[c] = Network.mark()
+			row[c] = ' '
+			best := 0.0
+			for kind := Kind(0); kind < numKinds; kind++ {
+				if cover[c][kind] > best {
+					best = cover[c][kind]
+					row[c] = kind.mark()
+				}
 			}
 		}
 		fmt.Fprintf(&b, "rank %2d |%s|\n", rank, string(row))
 	}
 	fmt.Fprintf(&b, "        0%*s%.3gs\n", width-4, "", tMax)
-	fmt.Fprintf(&b, "        # compute (incl. memory stalls)   ~ network   (blank = idle)\n")
+	fmt.Fprintf(&b, "        # compute   = memory stall   ~ network   (blank = idle)\n")
 	return b.String()
+}
+
+// Span returns the timeline extent: the latest End over all events.
+func Span(events []Event) float64 {
+	t := 0.0
+	for _, e := range events {
+		t = math.Max(t, e.End)
+	}
+	return t
+}
+
+// UCR derives the measured Useful Computation Ratio (paper Eq. 13,
+// UCR = T_CPU/T) from a phase timeline: the mean over ranks of recorded
+// compute time (work plus non-memory pipeline stalls, exactly the model's
+// T_CPU) divided by the timeline span. With the engine recording each
+// rank's master thread, this is the measured counterpart of the model's
+// predicted UCR. Returns 0 for an empty timeline.
+func UCR(events []Event) float64 {
+	span := Span(events)
+	if span <= 0 {
+		return 0
+	}
+	sum := Summary(events)
+	if len(sum) == 0 {
+		return 0
+	}
+	var compute float64
+	for _, kinds := range sum {
+		compute += kinds[Compute]
+	}
+	return compute / (span * float64(len(sum)))
 }

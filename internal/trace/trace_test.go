@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -88,10 +89,118 @@ func TestGanttEmpty(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	if Compute.String() != "compute" || Network.String() != "network" {
+	if Compute.String() != "compute" || Network.String() != "network" || MemStall.String() != "memstall" {
 		t.Fatal("kind names")
 	}
 	if !strings.Contains(Kind(9).String(), "9") {
 		t.Fatal("unknown kind string")
+	}
+}
+
+func TestRecorderRejectsMalformed(t *testing.T) {
+	r := NewRecorder(0)
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := []struct {
+		name       string
+		rank       int
+		kind       Kind
+		start, end float64
+	}{
+		{"negative rank", -1, Compute, 0, 1},
+		{"kind below range", 0, Kind(-1), 0, 1},
+		{"kind above range", 0, numKinds, 0, 1},
+		{"NaN start", 0, Compute, nan, 1},
+		{"NaN end", 0, Compute, 0, nan},
+		{"+Inf start", 0, Compute, inf, inf},
+		{"+Inf end", 0, Compute, 0, inf},
+		{"-Inf start", 0, Compute, math.Inf(-1), 1},
+		{"negative start", 0, Compute, -0.5, 1},
+		{"end before start", 0, Compute, 2, 1},
+	}
+	for _, c := range bad {
+		r.Add(c.rank, c.kind, c.start, c.end)
+	}
+	if got := len(r.Events()); got != 0 {
+		t.Fatalf("%d malformed events stored", got)
+	}
+	if got := r.Dropped(); got != len(bad) {
+		t.Fatalf("Dropped = %d, want %d", got, len(bad))
+	}
+	// Zero-length events vanish silently, without inflating Dropped.
+	r.Add(0, Compute, 1, 1)
+	if r.Dropped() != len(bad) || len(r.Events()) != 0 {
+		t.Fatal("zero-length event miscounted")
+	}
+	// A well-formed event still lands.
+	r.Add(0, MemStall, 0, 1)
+	if len(r.Events()) != 1 {
+		t.Fatal("valid event rejected")
+	}
+}
+
+func TestRecorderLimitCountsDropped(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Add(0, Compute, float64(i), float64(i)+0.5)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 {
+		t.Fatal("nil recorder Dropped")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	if got := Span(nil); got != 0 {
+		t.Fatalf("empty span %g", got)
+	}
+	events := []Event{
+		{Rank: 0, Kind: Compute, Start: 0, End: 2},
+		{Rank: 1, Kind: Network, Start: 1, End: 5},
+		{Rank: 0, Kind: MemStall, Start: 2, End: 3},
+	}
+	if got := Span(events); got != 5 {
+		t.Fatalf("span %g, want 5", got)
+	}
+}
+
+func TestUCR(t *testing.T) {
+	if got := UCR(nil); got != 0 {
+		t.Fatalf("empty UCR %g", got)
+	}
+	// Two ranks over a span of 10: rank 0 computes 6s, rank 1 computes 4s
+	// (memory stalls and network are not useful computation), so
+	// UCR = (6+4)/(2*10) = 0.5.
+	events := []Event{
+		{Rank: 0, Kind: Compute, Start: 0, End: 6},
+		{Rank: 0, Kind: MemStall, Start: 6, End: 8},
+		{Rank: 0, Kind: Network, Start: 8, End: 10},
+		{Rank: 1, Kind: Compute, Start: 0, End: 4},
+		{Rank: 1, Kind: Network, Start: 4, End: 10},
+	}
+	if got := UCR(events); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("UCR = %g, want 0.5", got)
+	}
+	// A fully-computing single rank has UCR 1.
+	full := []Event{{Rank: 0, Kind: Compute, Start: 0, End: 3}}
+	if got := UCR(full); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("UCR = %g, want 1", got)
+	}
+}
+
+func TestGanttMemStallGlyph(t *testing.T) {
+	events := []Event{
+		{Rank: 0, Kind: Compute, Start: 0, End: 4},
+		{Rank: 0, Kind: MemStall, Start: 4, End: 8},
+		{Rank: 0, Kind: Network, Start: 8, End: 12},
+	}
+	out := Gantt(events, 60)
+	row := strings.Split(out, "\n")[0]
+	for _, glyph := range []string{"#", "=", "~"} {
+		if !strings.Contains(row, glyph) {
+			t.Fatalf("row lacks %q: %q", glyph, row)
+		}
 	}
 }

@@ -25,7 +25,6 @@ import (
 	"hybridperf/internal/dvfs"
 	"hybridperf/internal/mpi"
 	"hybridperf/internal/omp"
-	"hybridperf/internal/trace"
 )
 
 // Class selects the program input size. The analytical model assumes
@@ -217,9 +216,11 @@ type Env struct {
 	Team  *omp.Team
 	Class Class
 
-	// Trace, when non-nil, records the rank's phase timeline (compute
-	// regions, communication waits) for Gantt rendering.
-	Trace *trace.Recorder
+	// Phase timelines are recorded at the engine level — attach a
+	// trace.Recorder to the node (Node.SetTrace) and every compute burst,
+	// memory stall and network wait of the rank's master thread is
+	// captured, finer-grained than program-level regions and identical for
+	// every program.
 
 	// Governor, when set, is consulted at every iteration boundary with
 	// the rank's network-wait fraction and may retune the node's DVFS
@@ -273,9 +274,7 @@ func (s *Spec) Run(p *des.Proc, env *Env) error {
 	haloExpected := 0
 	iterStart := p.Now()
 	lastNetWait := 0.0
-	rankID := env.Rank.ID()
 	for it := 0; it < iters; it++ {
-		regionStart := p.Now()
 		env.Team.Parallel(p, func(th *omp.Thread) {
 			for b := 0; b < bursts; b++ {
 				th.Compute(segWork, s.BFrac)
@@ -288,8 +287,6 @@ func (s *Spec) Run(p *des.Proc, env *Env) error {
 				th.Compute(extraWork, s.BFrac)
 			}
 		})
-		env.Trace.Add(rankID, trace.Compute, regionStart, p.Now())
-		commStart := p.Now()
 		if n > 1 {
 			if s.CollectiveBytes > 0 {
 				env.Rank.Allreduce(p, s.CollectiveBytes)
@@ -304,7 +301,6 @@ func (s *Spec) Run(p *des.Proc, env *Env) error {
 			if s.BarrierPerIter {
 				env.Rank.Barrier(p)
 			}
-			env.Trace.Add(rankID, trace.Network, commStart, p.Now())
 		}
 		if env.Governor != nil {
 			dur := p.Now() - iterStart
