@@ -3,55 +3,80 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// refNsOp extracts the recorded ns/op for one benchmark entry under the
-// "after" section of a BENCH_*.json record.
-func refNsOp(raw []byte, key string) (float64, error) {
-	var doc struct {
-		After map[string]struct {
-			NsOp float64 `json:"ns_op"`
-		} `json:"after"`
-	}
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return 0, err
-	}
-	e, ok := doc.After[key]
-	if !ok || e.NsOp <= 0 {
-		return 0, fmt.Errorf("no usable %q entry under \"after\"", key)
-	}
-	return e.NsOp, nil
+// refEntry is one recorded benchmark baseline from a BENCH_*.json record.
+// AllocsOp is a pointer so a record written before allocation tracking
+// (no allocs_op field) is distinguishable from a genuinely zero-alloc
+// benchmark.
+type refEntry struct {
+	NsOp     float64  `json:"ns_op"`
+	AllocsOp *float64 `json:"allocs_op"`
 }
 
-// minNsPerOp parses `go test -bench` output and returns the smallest
-// ns/op over all result lines whose benchmark name starts with prefix,
-// plus how many lines matched. Benchmark result lines have the form
+// refBench extracts the recorded baseline for one benchmark entry under
+// the "after" section of a BENCH_*.json record. A missing key lists the
+// available entries so a typo fails loudly instead of vacuously.
+func refBench(raw []byte, key string) (refEntry, error) {
+	var doc struct {
+		After map[string]refEntry `json:"after"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return refEntry{}, fmt.Errorf("parsing reference record: %v", err)
+	}
+	if len(doc.After) == 0 {
+		return refEntry{}, fmt.Errorf("reference record has no \"after\" section — nothing to gate against")
+	}
+	e, ok := doc.After[key]
+	if !ok {
+		keys := make([]string, 0, len(doc.After))
+		for k := range doc.After {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return refEntry{}, fmt.Errorf("no %q entry under \"after\"; available: %s",
+			key, strings.Join(keys, ", "))
+	}
+	if e.NsOp <= 0 {
+		return refEntry{}, fmt.Errorf("entry %q has no usable ns_op", key)
+	}
+	return e, nil
+}
+
+// minUnit parses `go test -bench` output and returns the smallest value
+// of the given unit column (e.g. "ns/op", "allocs/op") over all result
+// lines whose benchmark name starts with prefix, plus how many lines
+// carried that column. Benchmark result lines have the form
 //
-//	BenchmarkRun          	       5	  26053117 ns/op	...
+//	BenchmarkRun          	       5	  26053117 ns/op	  255877 B/op	  11045 allocs/op
 //
 // optionally with a -N GOMAXPROCS suffix on the name.
-func minNsPerOp(out, prefix string) (min float64, n int, err error) {
+func minUnit(out, prefix, unit string) (min float64, n int, err error) {
 	for _, line := range strings.Split(out, "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], prefix) {
 			continue
 		}
-		if fields[3] != "ns/op" {
-			continue
+		for i := 3; i < len(fields); i += 2 {
+			if fields[i] != unit {
+				continue
+			}
+			v, perr := strconv.ParseFloat(fields[i-1], 64)
+			if perr != nil {
+				return 0, 0, fmt.Errorf("bad %s in %q: %v", unit, line, perr)
+			}
+			if n == 0 || v < min {
+				min = v
+			}
+			n++
+			break
 		}
-		v, perr := strconv.ParseFloat(fields[2], 64)
-		if perr != nil {
-			return 0, 0, fmt.Errorf("bad ns/op in %q: %v", line, perr)
-		}
-		if n == 0 || v < min {
-			min = v
-		}
-		n++
 	}
 	if n == 0 {
-		return 0, 0, fmt.Errorf("no benchmark result lines matching %q", prefix)
+		return 0, 0, fmt.Errorf("no benchmark result lines matching %q with a %s column", prefix, unit)
 	}
 	return min, n, nil
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 const sampleOutput = `goos: linux
 goarch: amd64
@@ -13,8 +16,8 @@ PASS
 ok  	hybridperf/internal/exec	1.234s
 `
 
-func TestMinNsPerOp(t *testing.T) {
-	min, n, err := minNsPerOp(sampleOutput, "Benchmark")
+func TestMinUnitNsOp(t *testing.T) {
+	min, n, err := minUnit(sampleOutput, "Benchmark", "ns/op")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,31 +29,96 @@ func TestMinNsPerOp(t *testing.T) {
 	}
 }
 
-func TestMinNsPerOpNoMatches(t *testing.T) {
-	if _, _, err := minNsPerOp("PASS\nok\n", "Benchmark"); err == nil {
+func TestMinUnitAllocsOp(t *testing.T) {
+	min, n, err := minUnit(sampleOutput, "Benchmark", "allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("matched %d lines, want 3", n)
+	}
+	if min != 11044 {
+		t.Fatalf("min = %g, want 11044", min)
+	}
+}
+
+func TestMinUnitNoBenchmem(t *testing.T) {
+	// Output without -benchmem has no allocs/op column: the allocation
+	// gate must error, not silently pass.
+	out := "BenchmarkRun 5 26053117 ns/op\nPASS\n"
+	if _, _, err := minUnit(out, "Benchmark", "allocs/op"); err == nil {
+		t.Fatal("expected error when allocs/op column is absent")
+	}
+	if _, _, err := minUnit(out, "Benchmark", "ns/op"); err != nil {
+		t.Fatalf("ns/op should still parse: %v", err)
+	}
+}
+
+func TestMinUnitNoMatches(t *testing.T) {
+	if _, _, err := minUnit("PASS\nok\n", "Benchmark", "ns/op"); err == nil {
 		t.Fatal("expected error for output without benchmark lines")
 	}
 }
 
-func TestMinNsPerOpMalformed(t *testing.T) {
-	if _, _, err := minNsPerOp("BenchmarkRun 5 abc ns/op\n", "Benchmark"); err == nil {
+func TestMinUnitMalformed(t *testing.T) {
+	if _, _, err := minUnit("BenchmarkRun 5 abc ns/op\n", "Benchmark", "ns/op"); err == nil {
 		t.Fatal("expected error for malformed ns/op value")
 	}
 }
 
-func TestRefNsOp(t *testing.T) {
-	raw := []byte(`{"after": {"exec_BenchmarkRun_SP_classS_8x8": {"ns_op": 26053117, "B_op": 255877}}}`)
-	got, err := refNsOp(raw, "exec_BenchmarkRun_SP_classS_8x8")
+func TestRefBench(t *testing.T) {
+	raw := []byte(`{"after": {"exec_BenchmarkRun_SP_classS_8x8": {"ns_op": 26053117, "B_op": 255877, "allocs_op": 11045}}}`)
+	e, err := refBench(raw, "exec_BenchmarkRun_SP_classS_8x8")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != 26053117 {
-		t.Fatalf("ref = %g", got)
+	if e.NsOp != 26053117 {
+		t.Fatalf("ns_op = %g", e.NsOp)
 	}
-	if _, err := refNsOp(raw, "missing"); err == nil {
+	if e.AllocsOp == nil || *e.AllocsOp != 11045 {
+		t.Fatalf("allocs_op = %v, want 11045", e.AllocsOp)
+	}
+	if _, err := refBench([]byte("not json"), "k"); err == nil {
+		t.Fatal("expected error for invalid JSON")
+	}
+	if _, err := refBench([]byte(`{"before": {}}`), "k"); err == nil {
+		t.Fatal("expected error for a record without an \"after\" section")
+	}
+}
+
+func TestRefBenchMissingKeyListsAvailable(t *testing.T) {
+	raw := []byte(`{"after": {"a_bench": {"ns_op": 1}, "b_bench": {"ns_op": 2}}}`)
+	_, err := refBench(raw, "missing")
+	if err == nil {
 		t.Fatal("expected error for missing key")
 	}
-	if _, err := refNsOp([]byte("not json"), "k"); err == nil {
-		t.Fatal("expected error for invalid JSON")
+	if !strings.Contains(err.Error(), "a_bench") || !strings.Contains(err.Error(), "b_bench") {
+		t.Fatalf("error should list available keys, got: %v", err)
+	}
+}
+
+func TestRefBenchNoAllocsRecorded(t *testing.T) {
+	// Pre-benchmem baselines have no allocs_op field; the entry parses
+	// (time gate still works) but AllocsOp stays nil so main can fail
+	// the allocation gate with a clear message.
+	raw := []byte(`{"after": {"old": {"ns_op": 100}}}`)
+	e, err := refBench(raw, "old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.AllocsOp != nil {
+		t.Fatalf("allocs_op = %v, want nil for a record without the field", *e.AllocsOp)
+	}
+}
+
+func TestRefBenchZeroAllocs(t *testing.T) {
+	// allocs_op: 0 is a real zero-alloc baseline, distinct from absent.
+	raw := []byte(`{"after": {"des": {"ns_op": 5.58, "allocs_op": 0}}}`)
+	e, err := refBench(raw, "des")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.AllocsOp == nil || *e.AllocsOp != 0 {
+		t.Fatalf("allocs_op = %v, want explicit 0", e.AllocsOp)
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "measurement seed")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = default)")
 		outFile = flag.String("o", "", "write model inputs as JSON to this file")
+		showMx  = flag.Bool("metrics", false, "print aggregate engine counters over the campaign's runs")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sum, err := characterize.Run(prof, spec, characterize.Options{Seed: *seed, Workers: *workers})
+	sum, err := characterize.Run(prof, spec, characterize.Options{Seed: *seed, Workers: *workers, Metrics: *showMx})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,5 +102,8 @@ func main() {
 	for _, f := range freqs {
 		fmt.Fprintf(w, "  f=%.1f GHz: Pcore,act=%.3f W  Pcore,stall=%.3f W\n",
 			f/1e9, sum.Inputs.Power.PAct[f], sum.Inputs.Power.PStall[f])
+	}
+	if *showMx {
+		fmt.Fprintf(w, "\nengine metrics over %d characterisation runs\n%s", sum.MetricsRuns, sum.Metrics)
 	}
 }

@@ -1,0 +1,118 @@
+// Command hybridperfd serves the analytical model as a long-running,
+// observable HTTP service: POST /v1/predict for one (system, program,
+// class, n, c, f) point, POST /v1/sweep for a configuration-space sweep
+// returning the time-energy Pareto frontier, GET /v1/systems for the
+// available profiles. Models are characterised lazily per (system,
+// program) pair — with a fixed seed, so two daemons serve bit-identical
+// predictions — and cached for the process lifetime.
+//
+// Observability surface: GET /metrics (Prometheus text exposition of
+// request counters/latency histograms plus the simulation engine's own
+// counters), GET /healthz, GET /readyz, GET /debug/trace?duration=1s
+// (Chrome-trace JSON of the server's recent spans) and /debug/pprof/.
+// Every request logs one structured line (log/slog) with a request id,
+// route, status, duration and model coordinates.
+//
+// Usage:
+//
+//	hybridperfd -addr :8080
+//	hybridperfd -addr 127.0.0.1:8080 -preload xeon/SP,arm/CP -log json
+//	curl -d '{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}' \
+//	    localhost:8080/v1/predict
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hybridperf/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "characterisation/sweep workers (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 42, "characterisation seed (fixed seed = reproducible predictions)")
+		logFmt   = flag.String("log", "text", "request log format: text or json")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		preload  = flag.String("preload", "", "comma-separated system/program pairs to characterise before serving, e.g. xeon/SP,arm/CP")
+		spanCap  = flag.Int("span-capacity", 0, "span flight-recorder capacity (0 = 4096)")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "hybridperfd: bad -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFmt {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "hybridperfd: bad -log %q (want text or json)\n", *logFmt)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	srv := telemetry.NewServer(telemetry.Config{
+		Workers:      *workers,
+		Seed:         *seed,
+		Logger:       logger,
+		SpanCapacity: *spanCap,
+	})
+
+	// Warm requested models before declaring readiness, so a load balancer
+	// never routes traffic into a cold characterisation stampede.
+	if *preload != "" {
+		for _, pair := range strings.Split(*preload, ",") {
+			system, program, ok := strings.Cut(strings.TrimSpace(pair), "/")
+			if !ok {
+				logger.Error("bad -preload entry (want system/program)", "entry", pair)
+				os.Exit(2)
+			}
+			if err := srv.Warm(system, program); err != nil {
+				logger.Error("preload failed", "system", system, "program", program, "err", err)
+				os.Exit(1)
+			}
+		}
+	}
+	srv.SetReady(true)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("serving", "addr", *addr, "workers", *workers, "seed", *seed)
+
+	select {
+	case err := <-errc:
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("shutdown", "err", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,186 @@
+// Command loadgen drives a running hybridperfd with a stream of
+// prediction requests and reports throughput and latency percentiles —
+// the manual soak-test harness and the CI smoke driver. By default it
+// runs closed-loop (each worker issues its next request as soon as the
+// previous one returns); -qps switches to open-loop pacing at a target
+// aggregate rate.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -duration 5s -concurrency 4
+//	loadgen -route /v1/sweep -body '{"system":"xeon","program":"SP","pow2":true}' -qps 50
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		baseURL     = flag.String("url", "http://127.0.0.1:8080", "server base URL")
+		route       = flag.String("route", "/v1/predict", "route to hit")
+		body        = flag.String("body", `{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}`, "JSON request body (POST); empty = GET")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		concurrency = flag.Int("concurrency", 4, "concurrent workers")
+		qps         = flag.Float64("qps", 0, "target aggregate request rate (0 = closed loop)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		warm        = flag.Bool("warm", true, "issue one untimed request first (characterisation warm-up)")
+	)
+	flag.Parse()
+	if *concurrency < 1 {
+		log.Fatal("concurrency must be >= 1")
+	}
+
+	url := *baseURL + *route
+	client := &http.Client{Timeout: *timeout}
+	do := func() (int, error) {
+		var (
+			resp *http.Response
+			err  error
+		)
+		if *body == "" {
+			resp, err = client.Get(url)
+		} else {
+			resp, err = client.Post(url, "application/json", bytes.NewReader([]byte(*body)))
+		}
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+
+	// One untimed request warms the model cache so the report measures
+	// steady-state serving, not the first characterisation campaign.
+	if *warm {
+		if code, err := do(); err != nil {
+			log.Fatalf("warm-up request: %v", err)
+		} else if code >= 400 {
+			log.Fatalf("warm-up request returned HTTP %d", code)
+		}
+	}
+
+	// Open-loop pacing: a buffered token channel fed at the target rate.
+	// Closed loop: a nil channel, workers fire back-to-back.
+	var tokens chan struct{}
+	deadline := time.Now().Add(*duration)
+	if *qps > 0 {
+		tokens = make(chan struct{}, *concurrency)
+		interval := time.Duration(float64(time.Second) / *qps)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for time.Now().Before(deadline) {
+				<-t.C
+				select {
+				case tokens <- struct{}{}:
+				default: // workers saturated: drop the token, note it below
+				}
+			}
+			close(tokens)
+		}()
+	}
+
+	type shard struct {
+		lat      []time.Duration
+		ok, fail int
+		codes    map[int]int
+	}
+	shards := make([]shard, *concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.codes = map[int]int{}
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					if _, open := <-tokens; !open {
+						return
+					}
+				}
+				t0 := time.Now()
+				code, err := do()
+				sh.lat = append(sh.lat, time.Since(t0))
+				sh.codes[code]++
+				if err != nil || code >= 400 {
+					sh.fail++
+				} else {
+					sh.ok++
+				}
+			}
+		}(&shards[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat []time.Duration
+	ok, fail := 0, 0
+	codes := map[int]int{}
+	for _, sh := range shards {
+		lat = append(lat, sh.lat...)
+		ok += sh.ok
+		fail += sh.fail
+		for c, n := range sh.codes {
+			codes[c] += n
+		}
+	}
+	if len(lat) == 0 {
+		log.Fatal("no requests completed")
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) time.Duration {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+
+	fmt.Printf("target       %s %s\n", *baseURL, *route)
+	fmt.Printf("duration     %.2fs  concurrency %d", elapsed.Seconds(), *concurrency)
+	if *qps > 0 {
+		fmt.Printf("  target qps %.0f", *qps)
+	}
+	fmt.Println()
+	fmt.Printf("requests     %d ok, %d failed (%.1f req/s)\n", ok, fail, float64(ok+fail)/elapsed.Seconds())
+	fmt.Printf("latency      p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
+		lat[len(lat)-1].Round(time.Microsecond))
+	var cs []int
+	for c := range codes {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	fmt.Printf("status       ")
+	for i, c := range cs {
+		if i > 0 {
+			fmt.Printf("  ")
+		}
+		name := fmt.Sprint(c)
+		if c == 0 {
+			name = "transport-error"
+		}
+		fmt.Printf("%s:%d", name, codes[c])
+	}
+	fmt.Println()
+	if fail > 0 {
+		os.Exit(1)
+	}
+}

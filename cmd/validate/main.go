@@ -20,6 +20,7 @@ import (
 	"hybridperf/internal/exec"
 	"hybridperf/internal/experiments"
 	"hybridperf/internal/machine"
+	"hybridperf/internal/metrics"
 	"hybridperf/internal/stats"
 	"hybridperf/internal/textplot"
 	"hybridperf/internal/workload"
@@ -37,6 +38,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "seed")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
 		full    = flag.Bool("full", false, "use the full Table 2 artifact (both systems, all programs)")
+		showMx  = flag.Bool("metrics", false, "print aggregate engine counters over the measured runs")
 	)
 	flag.Parse()
 
@@ -75,6 +77,8 @@ func main() {
 	}
 
 	var rows [][]string
+	var mxAgg metrics.EngineSnapshot
+	mxRuns := 0
 	for _, spec := range specs {
 		model, err := hybridperf.Characterize(sys, spec, &hybridperf.CharacterizeOptions{Seed: *seed, Workers: *workers})
 		if err != nil {
@@ -90,12 +94,18 @@ func main() {
 				Prof: sys, Spec: spec, Class: workload.Class(*class), Cfg: cfg,
 				Seed: *seed + 1e6 + int64(i),
 				// The recorded timeline yields each run's measured UCR.
-				Trace: true,
+				Trace:   true,
+				Metrics: *showMx,
 			})
 		}
 		results, err := exec.Sweep(reqs, *workers)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *showMx {
+			agg, n := exec.SweepMetrics(results)
+			mxAgg.Add(agg)
+			mxRuns += n
 		}
 		var predT, measT, predE, measE, predU, measU []float64
 		for i, cfg := range cfgs {
@@ -124,6 +134,9 @@ func main() {
 	fmt.Fprintln(os.Stdout, textplot.Table(
 		[]string{"Prog", "Cfgs", "T mean%", "T std", "T max", "E mean%", "E std", "E max",
 			"UCR pred", "UCR meas"}, rows))
+	if *showMx {
+		fmt.Fprintf(os.Stdout, "\nengine metrics over %d measured runs\n%s", mxRuns, mxAgg)
+	}
 }
 
 // mean returns the arithmetic mean (0 for an empty slice).

@@ -7,6 +7,7 @@ package characterize
 
 import (
 	"fmt"
+	"time"
 
 	"hybridperf/internal/core"
 	"hybridperf/internal/exec"
@@ -28,6 +29,17 @@ type Options struct {
 	// Summary's aggregate engine counters. Off by default (the counters
 	// never alter results, only observe them).
 	Metrics bool
+	// SharedMetrics, when non-nil, accumulates every simulation's engine
+	// counters into this shared engine (see exec.Request.SharedMetrics) —
+	// the serving layer's process-lifetime counter set. The Summary's own
+	// aggregate still requires Metrics, since per-run deltas on a shared
+	// engine overlap under concurrency.
+	SharedMetrics *metrics.Engine
+	// Observe, when non-nil, receives a wall-clock span for every
+	// simulation of the campaign plus one for each campaign stage
+	// ("baseline sweep", "mpiP run") — the hook external span recorders
+	// attach to. Purely observational.
+	Observe func(label string, start, end time.Time)
 }
 
 func (o *Options) fill() {
@@ -107,20 +119,33 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 		for _, f := range prof.Frequencies {
 			keys = append(keys, machine.CF{Cores: c, Freq: f})
 			reqs = append(reqs, exec.Request{
-				Prof:    prof,
-				Spec:    spec,
-				Class:   opts.BaselineClass,
-				Cfg:     machine.Config{Nodes: 1, Cores: c, Freq: f},
-				Seed:    opts.Seed + int64(len(reqs)),
-				Metrics: opts.Metrics,
+				Prof:          prof,
+				Spec:          spec,
+				Class:         opts.BaselineClass,
+				Cfg:           machine.Config{Nodes: 1, Cores: c, Freq: f},
+				Seed:          opts.Seed + int64(len(reqs)),
+				Metrics:       opts.Metrics,
+				SharedMetrics: opts.SharedMetrics,
+				Observe:       opts.Observe,
 			})
 		}
 	}
+	sweepStart := time.Now()
 	results, err := exec.Sweep(reqs, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("characterize: baseline: %w", err)
 	}
-	agg, aggRuns := exec.SweepMetrics(results)
+	if opts.Observe != nil {
+		opts.Observe(fmt.Sprintf("baseline sweep %s/%s (%d cfgs)", prof.Name, spec.Name, len(reqs)),
+			sweepStart, time.Now())
+	}
+	// Summary aggregation only for the per-run (non-shared) engines: with
+	// a shared engine, concurrent per-run deltas overlap and double-count.
+	var agg metrics.EngineSnapshot
+	aggRuns := 0
+	if opts.Metrics && opts.SharedMetrics == nil {
+		agg, aggRuns = exec.SweepMetrics(results)
+	}
 	baseline := make(map[machine.CF]core.BaselinePoint, len(results))
 	for i, res := range results {
 		baseline[keys[i]] = core.BaselinePoint{
@@ -140,17 +165,19 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 			n = prof.MaxNodes
 		}
 		res, err := exec.Run(exec.Request{
-			Prof:    prof,
-			Spec:    spec,
-			Class:   opts.BaselineClass,
-			Cfg:     machine.Config{Nodes: n, Cores: 1, Freq: prof.FMax()},
-			Seed:    opts.Seed + 7919,
-			Metrics: opts.Metrics,
+			Prof:          prof,
+			Spec:          spec,
+			Class:         opts.BaselineClass,
+			Cfg:           machine.Config{Nodes: n, Cores: 1, Freq: prof.FMax()},
+			Seed:          opts.Seed + 7919,
+			Metrics:       opts.Metrics,
+			SharedMetrics: opts.SharedMetrics,
+			Observe:       opts.Observe,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("characterize: mpiP run: %w", err)
 		}
-		if res.Metrics != nil {
+		if opts.Metrics && opts.SharedMetrics == nil && res.Metrics != nil {
 			agg.Add(res.Metrics.Engine)
 			aggRuns++
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"hybridperf/internal/counters"
 	"hybridperf/internal/des"
@@ -52,6 +53,21 @@ type Request struct {
 	// totals. Off by default; the counters never feed back into the
 	// simulation, so results are bit-identical either way.
 	Metrics bool
+	// SharedMetrics, when non-nil, attaches this engine — typically one
+	// process-lifetime counter set owned by a serving layer — to the run's
+	// kernel instead of a fresh one, accumulating counters across runs
+	// (all fields are atomic, so concurrent sweep runs may share it).
+	// Result.Metrics then reports the end-minus-start snapshot delta; with
+	// concurrent runs on one engine the delta includes overlapping work,
+	// so treat per-run deltas as approximate and the shared engine itself
+	// as the authoritative cumulative view. Takes precedence over Metrics.
+	SharedMetrics *metrics.Engine
+	// Observe, when non-nil, is called once after a successful run with a
+	// label naming the program and configuration and the wall-clock
+	// interval the engine spent producing it — the hook span recorders
+	// attach to. Purely observational: the wall clock never feeds into
+	// the simulation, so results stay bit-identical.
+	Observe func(label string, start, end time.Time)
 }
 
 // Result is the measurement outcome of one run.
@@ -109,6 +125,10 @@ func rankName(i int) string {
 
 // Run executes one simulation and returns its measurements.
 func Run(req Request) (*Result, error) {
+	var wall time.Time
+	if req.Observe != nil {
+		wall = time.Now()
+	}
 	if err := req.Prof.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,7 +166,12 @@ func Run(req Request) (*Result, error) {
 		}
 	}
 	var mx *metrics.Engine
-	if req.Metrics {
+	var pre metrics.EngineSnapshot
+	if req.SharedMetrics != nil {
+		mx = req.SharedMetrics
+		pre = mx.Snapshot()
+		k.SetMetrics(mx)
+	} else if req.Metrics {
 		mx = metrics.NewEngine()
 		k.SetMetrics(mx)
 	}
@@ -188,7 +213,9 @@ func Run(req Request) (*Result, error) {
 		res.MeasuredUCR = trace.UCR(res.Trace)
 	}
 	if mx != nil {
-		res.Metrics = &metrics.RunMetrics{Engine: mx.Snapshot()}
+		// For a shared engine, report this run's contribution as the
+		// end-minus-start delta (pre is zero for a fresh engine).
+		res.Metrics = &metrics.RunMetrics{Engine: mx.Snapshot().Sub(pre)}
 	}
 	meterNoise := root.Split("meter")
 	for _, nd := range nodes {
@@ -218,6 +245,9 @@ func Run(req Request) (*Result, error) {
 		if res.MeasuredEnergy < 0 {
 			res.MeasuredEnergy = 0
 		}
+	}
+	if req.Observe != nil {
+		req.Observe(fmt.Sprintf("run %s %v", req.Spec.Name, req.Cfg), wall, time.Now())
 	}
 	return res, nil
 }

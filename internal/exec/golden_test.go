@@ -5,9 +5,11 @@ import (
 	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	"hybridperf/internal/dvfs"
 	"hybridperf/internal/machine"
+	"hybridperf/internal/metrics"
 	"hybridperf/internal/workload"
 )
 
@@ -129,6 +131,35 @@ func TestGoldenDeterminism(t *testing.T) {
 			}
 			if len(res3.Trace) == 0 || res3.Metrics == nil {
 				t.Fatalf("instrumented run recorded nothing")
+			}
+			// The serving layer's collectors — a shared process-lifetime
+			// engine plus a wall-clock span observer — must be equally
+			// invisible: same request, byte-identical outputs.
+			shared := req
+			shared.SharedMetrics = metrics.NewEngine()
+			spans := 0
+			shared.Observe = func(label string, start, end time.Time) {
+				if label == "" || end.Before(start) {
+					t.Errorf("malformed span %q [%v,%v]", label, start, end)
+				}
+				spans++
+			}
+			res4, err := Run(shared)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res4.Time != res.Time || res4.Energy != res.Energy ||
+				res4.MeasuredEnergy != res.MeasuredEnergy || res4.Comm != res.Comm {
+				t.Fatalf("server collectors perturbed %s: %+v vs %+v", name, res4, res)
+			}
+			if spans != 1 {
+				t.Fatalf("Observe fired %d times, want 1", spans)
+			}
+			if res4.Metrics == nil || res4.Metrics.Engine.Events == 0 {
+				t.Fatalf("shared engine recorded nothing")
+			}
+			if got, want := res4.Metrics.Engine, shared.SharedMetrics.Snapshot(); got != want {
+				t.Fatalf("single-run shared-engine delta should equal the engine total:\n got  %+v\n want %+v", got, want)
 			}
 			if gen {
 				fmt.Printf("\t%q: {Time: %q, Energy: %q, Measured: %q, Msgs: %d, Bytes: %q, Wait: %q},\n",

@@ -101,6 +101,59 @@ func HistString(buckets [HistBuckets]uint64) string {
 	return strings.Join(parts, " ")
 }
 
+// bucketBounds returns the [lo, hi) value range of bucket i (hi is
+// +Inf-like for the overflow bucket, reported as lo*2 so interpolation
+// stays finite).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 2
+	}
+	lo = float64(uint64(1) << uint(i))
+	if i == HistBuckets-1 {
+		return lo, lo * 2
+	}
+	return lo, float64(uint64(1) << uint(i+1))
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of a histogram snapshot
+// by linear interpolation inside the power-of-two bucket holding the
+// target rank. The estimate is exact at bucket boundaries and within a
+// factor of two elsewhere — good enough for the p50/p95/p99 summaries the
+// CLI and the Prometheus exposition report. Returns 0 for an empty
+// histogram; observations in the overflow bucket interpolate inside
+// [2^(HistBuckets-1), 2^HistBuckets).
+func Quantile(buckets [HistBuckets]uint64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var total uint64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(HistBuckets - 1)
+	return hi
+}
+
 // Engine is the live counter set a DES kernel (and the simulated runtimes
 // on top of it) writes while instrumentation is on. One Engine may be
 // shared by several kernels — every field is atomic.
@@ -184,6 +237,37 @@ func (s *EngineSnapshot) Add(o EngineSnapshot) {
 	}
 }
 
+// Sub returns the change from an earlier snapshot prev to s: counters and
+// histogram buckets subtract (saturating at zero, so a reset or crossed
+// snapshots never yield wrapped-around garbage), while HeapHighWater keeps
+// s's value — a running maximum has no meaningful difference. The service
+// layer uses it to report per-request engine deltas against a shared,
+// process-lifetime Engine.
+func (s EngineSnapshot) Sub(prev EngineSnapshot) EngineSnapshot {
+	sat := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	d := EngineSnapshot{
+		Events:              sat(s.Events, prev.Events),
+		Handoffs:            sat(s.Handoffs, prev.Handoffs),
+		SelfDispatches:      sat(s.SelfDispatches, prev.SelfDispatches),
+		SchedulerDispatches: sat(s.SchedulerDispatches, prev.SchedulerDispatches),
+		Lookaheads:          sat(s.Lookaheads, prev.Lookaheads),
+		HeapHighWater:       s.HeapHighWater,
+		PoolHits:            sat(s.PoolHits, prev.PoolHits),
+		PoolSpawns:          sat(s.PoolSpawns, prev.PoolSpawns),
+		Regions:             sat(s.Regions, prev.Regions),
+		Messages:            sat(s.Messages, prev.Messages),
+	}
+	for i := range s.MsgBytes {
+		d.MsgBytes[i] = sat(s.MsgBytes[i], prev.MsgBytes[i])
+	}
+	return d
+}
+
 // String renders a compact multi-line human summary.
 func (s EngineSnapshot) String() string {
 	var b strings.Builder
@@ -192,7 +276,10 @@ func (s EngineSnapshot) String() string {
 	fmt.Fprintf(&b, "event heap   %d deep at high water\n", s.HeapHighWater)
 	fmt.Fprintf(&b, "task pool    %d reuse hits, %d spawns\n", s.PoolHits, s.PoolSpawns)
 	fmt.Fprintf(&b, "omp          %d parallel regions\n", s.Regions)
-	fmt.Fprintf(&b, "mpi          %d messages, size histogram %s\n", s.Messages, HistString(s.MsgBytes))
+	fmt.Fprintf(&b, "mpi          %d messages, size p50=%.0fB p95=%.0fB p99=%.0fB, histogram %s\n",
+		s.Messages,
+		Quantile(s.MsgBytes, 0.50), Quantile(s.MsgBytes, 0.95), Quantile(s.MsgBytes, 0.99),
+		HistString(s.MsgBytes))
 	return b.String()
 }
 

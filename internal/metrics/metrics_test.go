@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -55,6 +56,67 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations of 1 → every quantile lives in bucket 0 = [0,2).
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	s := h.Snapshot()
+	if q := Quantile(s, 0.5); q <= 0 || q >= 2 {
+		t.Fatalf("p50 of all-ones = %g, want inside [0,2)", q)
+	}
+	if Quantile([HistBuckets]uint64{}, 0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+
+	// Uniform mass over [256,512) and [512,1024): the median sits at the
+	// bucket boundary, p25/p75 at the bucket midpoints.
+	var u [HistBuckets]uint64
+	u[8], u[9] = 100, 100
+	if q := Quantile(u, 0.5); q != 512 {
+		t.Fatalf("p50 = %g, want 512 (boundary exact)", q)
+	}
+	if q := Quantile(u, 0.25); q != 384 {
+		t.Fatalf("p25 = %g, want 384 (mid of [256,512))", q)
+	}
+	if q := Quantile(u, 1.0); q != 1024 {
+		t.Fatalf("p100 = %g, want 1024 (top of [512,1024))", q)
+	}
+	// Quantiles are monotone in q, and out-of-range q clamps.
+	prev := 0.0
+	for _, q := range []float64{-1, 0, 0.1, 0.5, 0.9, 0.99, 1, 2} {
+		v := Quantile(u, q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+	// Overflow bucket stays finite.
+	var o [HistBuckets]uint64
+	o[HistBuckets-1] = 5
+	if q := Quantile(o, 0.99); math.IsInf(q, 0) || q <= 0 {
+		t.Fatalf("overflow-bucket quantile = %g, want finite positive", q)
+	}
+}
+
+func TestEngineSnapshotSub(t *testing.T) {
+	a := EngineSnapshot{Events: 100, Handoffs: 40, HeapHighWater: 9, Messages: 12}
+	a.MsgBytes[3] = 7
+	b := EngineSnapshot{Events: 30, Handoffs: 50, HeapHighWater: 4, Messages: 2}
+	b.MsgBytes[3] = 2
+	d := a.Sub(b)
+	if d.Events != 70 || d.Messages != 10 || d.MsgBytes[3] != 5 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+	if d.Handoffs != 0 {
+		t.Fatalf("crossed counters must saturate at 0, got %d", d.Handoffs)
+	}
+	if d.HeapHighWater != 9 {
+		t.Fatalf("high water keeps the current value, got %d", d.HeapHighWater)
+	}
+}
+
 func TestEngineSnapshotAdd(t *testing.T) {
 	a := EngineSnapshot{Events: 10, Handoffs: 4, HeapHighWater: 7, Messages: 2}
 	b := EngineSnapshot{Events: 5, Handoffs: 1, HeapHighWater: 3, Messages: 8}
@@ -77,7 +139,7 @@ func TestEngineSnapshotString(t *testing.T) {
 	e.Messages.Inc()
 	e.MsgBytes.Observe(100)
 	s := e.Snapshot().String()
-	for _, want := range []string{"3 dispatched", "1 messages", "[64,128):1"} {
+	for _, want := range []string{"3 dispatched", "1 messages", "[64,128):1", "p50=", "p95=", "p99="} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("snapshot string lacks %q:\n%s", want, s)
 		}

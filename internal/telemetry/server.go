@@ -1,0 +1,536 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridperf/internal/characterize"
+	"hybridperf/internal/core"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/metrics"
+	"hybridperf/internal/pareto"
+	"hybridperf/internal/workload"
+)
+
+// maxSweepNodes bounds /v1/sweep requests: the model happily extrapolates
+// to thousands of nodes, but an unbounded max_nodes would let one request
+// allocate an arbitrarily large configuration space.
+const maxSweepNodes = 1024
+
+// Config tunes the prediction service.
+type Config struct {
+	// Workers is the characterisation/sweep parallelism (<= 0 means
+	// GOMAXPROCS).
+	Workers int
+	// Seed seeds every characterisation campaign, so two daemons with the
+	// same seed serve bit-identical predictions. Zero is a valid seed.
+	Seed int64
+	// Logger receives the structured request log (nil = slog.Default()).
+	Logger *slog.Logger
+	// SpanCapacity bounds the span flight recorder (<= 0 means 4096).
+	SpanCapacity int
+}
+
+// Server is the hybridperfd prediction service: models characterised
+// lazily per (system, program) pair and cached for the process lifetime,
+// wrapped in the telemetry stack (exposition, request logging, spans,
+// pprof). Create with NewServer, mount with Handler.
+type Server struct {
+	cfg    Config
+	log    *slog.Logger
+	reg    *Registry
+	engine *metrics.Engine // shared engine counters across every simulation
+	spans  *Spans
+	start  time.Time
+	ready  atomic.Bool
+	seq    atomic.Uint64
+
+	mu     sync.Mutex
+	models map[modelKey]*modelEntry
+
+	mReq      *CounterVec
+	mDur      *HistogramVec
+	mInflight *GaugeVec
+	mPanics   *CounterVec
+	mModels   *GaugeVec
+	mChar     *CounterVec
+}
+
+type modelKey struct{ system, program string }
+
+// modelEntry caches one characterised model; once guarantees a single
+// characterisation per key even under concurrent first requests.
+type modelEntry struct {
+	once  sync.Once
+	prof  *machine.Profile
+	spec  *workload.Spec
+	model *core.Model
+	err   error
+}
+
+// NewServer builds the service. It starts not-ready: call SetReady(true)
+// after any warm-up (or immediately) so /readyz flips to 200.
+func NewServer(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Server{
+		cfg:    cfg,
+		log:    log,
+		reg:    NewRegistry(),
+		engine: metrics.NewEngine(),
+		spans:  NewSpans(cfg.SpanCapacity),
+		start:  time.Now(),
+		models: map[modelKey]*modelEntry{},
+	}
+	s.mReq = s.reg.Counter("hybridperf_http_requests_total",
+		"HTTP requests served, by route, method and status code.", "route", "method", "code")
+	s.mDur = s.reg.Histogram("hybridperf_http_request_duration_seconds",
+		"HTTP request latency in seconds, by route.", DefBuckets, "route")
+	s.mInflight = s.reg.Gauge("hybridperf_http_requests_in_flight",
+		"HTTP requests currently being served.")
+	s.mPanics = s.reg.Counter("hybridperf_http_panics_total",
+		"Handler panics recovered, by route.", "route")
+	s.mModels = s.reg.Gauge("hybridperf_models_cached",
+		"Characterised models held in the cache.")
+	s.mChar = s.reg.Counter("hybridperf_model_characterizations_total",
+		"Characterisation campaigns run, by system and program.", "system", "program")
+	// In-flight starts existing so the gauge appears on the first scrape.
+	s.mInflight.With().Set(0)
+	s.mModels.With().Set(0)
+	// Scrape-time families: latency quantiles interpolated from the route
+	// histograms, then the engine-level counters.
+	s.reg.OnScrape(func(w io.Writer) {
+		const name = "hybridperf_http_request_duration_quantile_seconds"
+		first := true
+		s.mDur.Each(func(values []string, h *Histogram) {
+			if first {
+				fmt.Fprintf(w, "# HELP %s Request latency quantiles interpolated from the histogram, by route.\n# TYPE %s gauge\n", name, name)
+				first = false
+			}
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(w, "%s{route=\"%s\",quantile=\"%s\"} %s\n",
+					name, escapeLabel(values[0]), formatFloat(q), formatFloat(h.Quantile(q)))
+			}
+		})
+		fmt.Fprintf(w, "# HELP hybridperf_uptime_seconds Seconds since the daemon started.\n"+
+			"# TYPE hybridperf_uptime_seconds gauge\nhybridperf_uptime_seconds %s\n",
+			formatFloat(time.Since(s.start).Seconds()))
+		WriteEngineText(w, s.engine.Snapshot())
+	})
+	return s
+}
+
+// Warm characterises one (system, program) pair ahead of traffic, so a
+// deployment can flip /readyz only after its hot models are cached.
+func (s *Server) Warm(system, program string) error {
+	_, err := s.model(modelKey{system: system, program: program})
+	return err
+}
+
+// SetReady flips the /readyz probe.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Registry exposes the server's metric registry (tests, extra collectors).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Engine exposes the shared engine counter set every simulation feeds.
+func (s *Server) Engine() *metrics.Engine { return s.engine }
+
+// Spans exposes the span flight recorder.
+func (s *Server) Spans() *Spans { return s.spans }
+
+// Handler returns the full route table wrapped in the telemetry
+// middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("GET /v1/systems", s.instrument("/v1/systems", s.handleSystems))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/trace", s.instrument("/debug/trace", s.handleDebugTrace))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// httpError is the structured JSON error envelope every 4xx/5xx carries.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":  fmt.Sprintf(format, args...),
+		"status": status,
+	})
+}
+
+// model returns the cached model for (system, program), characterising it
+// on first use with the server's collectors attached: every simulation
+// feeds the shared engine counters and the span recorder, and the
+// campaign logs one line with its engine-event delta.
+func (s *Server) model(key modelKey) (*modelEntry, error) {
+	s.mu.Lock()
+	e, ok := s.models[key]
+	if !ok {
+		e = &modelEntry{}
+		s.models[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		prof, err := machine.ByName(key.system)
+		if err != nil {
+			e.err = err
+			return
+		}
+		spec, err := workload.ByName(key.program)
+		if err != nil {
+			e.err = err
+			return
+		}
+		start := time.Now()
+		pre := s.engine.Snapshot()
+		sum, err := characterize.Run(prof, spec, characterize.Options{
+			Seed:          s.cfg.Seed,
+			Workers:       s.cfg.Workers,
+			SharedMetrics: s.engine,
+			Observe:       s.spans.Observer("exec"),
+		})
+		if err != nil {
+			e.err = fmt.Errorf("characterize %s/%s: %w", key.system, key.program, err)
+			return
+		}
+		m, err := core.New(sum.Inputs, nil)
+		if err != nil {
+			e.err = fmt.Errorf("model %s/%s: %w", key.system, key.program, err)
+			return
+		}
+		end := time.Now()
+		s.spans.Observe("model", fmt.Sprintf("characterize %s/%s", key.system, key.program),
+			start, end, nil)
+		delta := s.engine.Snapshot().Sub(pre)
+		s.mChar.With(key.system, key.program).Inc()
+		s.mModels.With().Inc()
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "characterized",
+			slog.String("system", key.system),
+			slog.String("program", key.program),
+			slog.Duration("duration", end.Sub(start)),
+			slog.Uint64("engine_events", delta.Events),
+			slog.Uint64("mpi_messages", delta.Messages))
+		e.prof, e.spec, e.model = prof, spec, m
+	})
+	return e, e.err
+}
+
+// configJSON is the wire form of a machine.Config.
+type configJSON struct {
+	Nodes   int     `json:"nodes"`
+	Cores   int     `json:"cores"`
+	FreqGHz float64 `json:"freq_ghz"`
+}
+
+// predictionJSON is the wire form of a core.Prediction.
+type predictionJSON struct {
+	Config  configJSON `json:"config"`
+	TimeS   float64    `json:"time_s"`
+	EnergyJ float64    `json:"energy_j"`
+	PowerW  float64    `json:"power_w"`
+	UCR     float64    `json:"ucr"`
+}
+
+func toPredictionJSON(p core.Prediction) predictionJSON {
+	power := 0.0
+	if p.T > 0 {
+		power = p.E / p.T
+	}
+	return predictionJSON{
+		Config:  configJSON{Nodes: p.Cfg.Nodes, Cores: p.Cfg.Cores, FreqGHz: p.Cfg.GHz()},
+		TimeS:   p.T,
+		EnergyJ: p.E,
+		PowerW:  power,
+		UCR:     p.UCR,
+	}
+}
+
+// decodeJSON reads a bounded JSON body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// resolve validates the model coordinates shared by predict and sweep and
+// returns the cached (characterising if needed) model entry plus the
+// class iteration count. Unknown names and malformed classes are the
+// caller's fault (400); a failed characterisation of valid coordinates is
+// ours (500).
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, system, program, class string) (*modelEntry, workload.Class, int, bool) {
+	if _, err := machine.ByName(system); err != nil {
+		httpError(w, http.StatusBadRequest, "unknown system %q", system)
+		return nil, "", 0, false
+	}
+	spec, err := workload.ByName(program)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "unknown program %q", program)
+		return nil, "", 0, false
+	}
+	if class == "" {
+		class = string(workload.ClassA)
+	}
+	S, err := spec.Iterations(workload.Class(class))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad class %q: %v", class, err)
+		return nil, "", 0, false
+	}
+	annotate(r.Context(),
+		slog.String("system", system),
+		slog.String("program", program),
+		slog.String("class", class))
+	e, err := s.model(modelKey{system: system, program: program})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "characterisation failed: %v", err)
+		return nil, "", 0, false
+	}
+	return e, workload.Class(class), S, true
+}
+
+// predictRequest is the /v1/predict body.
+type predictRequest struct {
+	System  string  `json:"system"`
+	Program string  `json:"program"`
+	Class   string  `json:"class"`
+	Nodes   int     `json:"nodes"`
+	Cores   int     `json:"cores"`
+	FreqGHz float64 `json:"freq_ghz"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class)
+	if !ok {
+		return
+	}
+	cfg := machine.Config{Nodes: req.Nodes, Cores: req.Cores, Freq: req.FreqGHz * 1e9}
+	if req.FreqGHz == 0 {
+		cfg.Freq = e.prof.FMax()
+	}
+	if err := e.prof.ValidateModelConfig(cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid configuration: %v", err)
+		return
+	}
+	annotate(r.Context(), slog.String("config", cfg.String()))
+	t0 := time.Now()
+	pred, err := e.model.Predict(cfg, S)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "prediction rejected: %v", err)
+		return
+	}
+	s.spans.Observe("model", fmt.Sprintf("predict %s/%s %v", req.System, req.Program, cfg),
+		t0, time.Now(), map[string]any{"id": requestID(r.Context())})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		System  string `json:"system"`
+		Program string `json:"program"`
+		Class   string `json:"class"`
+		predictionJSON
+	}{req.System, req.Program, string(class), toPredictionJSON(pred)})
+}
+
+// sweepRequest is the /v1/sweep body.
+type sweepRequest struct {
+	System    string  `json:"system"`
+	Program   string  `json:"program"`
+	Class     string  `json:"class"`
+	MaxNodes  int     `json:"max_nodes"` // 0 = testbed size
+	Pow2      bool    `json:"pow2"`
+	Workers   int     `json:"workers"` // 0 = server default
+	DeadlineS float64 `json:"deadline_s"`
+	BudgetJ   float64 `json:"budget_j"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class)
+	if !ok {
+		return
+	}
+	maxNodes := req.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = e.prof.MaxNodes
+	}
+	if maxNodes < 1 || maxNodes > maxSweepNodes {
+		httpError(w, http.StatusBadRequest, "max_nodes %d out of range [1,%d]", req.MaxNodes, maxSweepNodes)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	if workers > 4*runtime.GOMAXPROCS(0) {
+		workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	var nodes []int
+	if req.Pow2 {
+		nodes = pareto.PowersOfTwo(maxNodes)
+	} else {
+		nodes = pareto.Range(1, maxNodes)
+	}
+	cfgs := pareto.Space(nodes, e.prof.CoresPerNode, e.prof.Frequencies)
+	annotate(r.Context(), slog.Int("configs", len(cfgs)), slog.Int("workers", workers))
+	t0 := time.Now()
+	points, err := pareto.EvaluateParallel(e.model, cfgs, S, workers)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
+		return
+	}
+	front := pareto.Frontier(points)
+	s.spans.Observe("model", fmt.Sprintf("sweep %s/%s (%d cfgs)", req.System, req.Program, len(cfgs)),
+		t0, time.Now(), map[string]any{"id": requestID(r.Context())})
+
+	resp := struct {
+		System    string           `json:"system"`
+		Program   string           `json:"program"`
+		Class     string           `json:"class"`
+		Configs   int              `json:"configs"`
+		Frontier  []predictionJSON `json:"frontier"`
+		Deadline  *predictionJSON  `json:"min_energy_within_deadline,omitempty"`
+		Budget    *predictionJSON  `json:"min_time_within_budget,omitempty"`
+		WorkersUs int              `json:"workers"`
+	}{System: req.System, Program: req.Program, Class: string(class), Configs: len(cfgs), WorkersUs: workers}
+	for _, p := range front {
+		resp.Frontier = append(resp.Frontier, toPredictionJSON(p.Pred))
+	}
+	if req.DeadlineS > 0 {
+		if p, ok := pareto.MinEnergyWithinDeadline(points, req.DeadlineS); ok {
+			pj := toPredictionJSON(p.Pred)
+			resp.Deadline = &pj
+		}
+	}
+	if req.BudgetJ > 0 {
+		if p, ok := pareto.MinTimeWithinBudget(points, req.BudgetJ); ok {
+			pj := toPredictionJSON(p.Pred)
+			resp.Budget = &pj
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	type systemJSON struct {
+		Name         string    `json:"name"`
+		ISA          string    `json:"isa"`
+		MaxNodes     int       `json:"max_nodes"`
+		CoresPerNode int       `json:"cores_per_node"`
+		FreqsGHz     []float64 `json:"frequencies_ghz"`
+		Topology     string    `json:"topology"`
+	}
+	profiles := machine.Profiles()
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var systems []systemJSON
+	for _, n := range names {
+		p := profiles[n]
+		freqs := make([]float64, len(p.Frequencies))
+		for i, f := range p.Frequencies {
+			freqs[i] = f / 1e9
+		}
+		topo := p.Topology
+		if topo == "" {
+			topo = machine.TopologyShared
+		}
+		systems = append(systems, systemJSON{
+			Name: n, ISA: p.ISA, MaxNodes: p.MaxNodes, CoresPerNode: p.CoresPerNode,
+			FreqsGHz: freqs, Topology: string(topo),
+		})
+	}
+	var programs []string
+	for _, spec := range workload.Extended() {
+		programs = append(programs, spec.Name)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Systems  []systemJSON `json:"systems"`
+		Programs []string     `json:"programs"`
+		Classes  []string     `json:"classes"`
+	}{systems, programs, classNames()})
+}
+
+func classNames() []string {
+	var out []string
+	for _, c := range workload.Classes() {
+		out = append(out, string(c))
+	}
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+// handleDebugTrace records spans for the requested window (default 1s,
+// capped at 30s) and returns them as Chrome-trace JSON: the on-demand
+// "what is the server doing right now" probe.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	dur := time.Second
+	if q := r.URL.Query().Get("duration"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad duration %q", q)
+			return
+		}
+		dur = d
+	}
+	if dur > 30*time.Second {
+		dur = 30 * time.Second
+	}
+	t0 := time.Now()
+	select {
+	case <-time.After(dur):
+	case <-r.Context().Done():
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.spans.WriteChrome(w, t0); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelError, "trace export failed", slog.Any("err", err))
+	}
+}

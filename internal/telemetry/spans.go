@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"hybridperf/internal/trace"
+)
+
+// Spans is a bounded ring buffer of recent wall-clock spans — the serving
+// layer's always-on flight recorder. Recording is cheap (one mutexed
+// append), the buffer holds the last capacity spans, and an on-demand
+// export renders any recent window as Chrome-trace JSON via
+// trace.WriteChromeSpans. A nil *Spans ignores all calls, so callers need
+// no conditionals.
+type Spans struct {
+	mu      sync.Mutex
+	buf     []spanRec
+	next    int
+	full    bool
+	dropped uint64 // spans overwritten since start
+}
+
+// spanRec is one recorded span in absolute wall time.
+type spanRec struct {
+	name, cat  string
+	start, end time.Time
+	args       map[string]any
+}
+
+// NewSpans creates a recorder holding the most recent capacity spans
+// (<= 0 means a default of 4096).
+func NewSpans(capacity int) *Spans {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Spans{buf: make([]spanRec, 0, capacity)}
+}
+
+// Observe records one completed span. Spans with end before start are
+// ignored (a misbehaving clock must not corrupt the export).
+func (s *Spans) Observe(cat, name string, start, end time.Time, args map[string]any) {
+	if s == nil || end.Before(start) {
+		return
+	}
+	rec := spanRec{name: name, cat: cat, start: start, end: end, args: args}
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, rec)
+	} else {
+		s.buf[s.next] = rec
+		s.next = (s.next + 1) % cap(s.buf)
+		s.full = true
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// Observer adapts the recorder to the exec/characterize Observe hook
+// shape, tagging every span with the given category.
+func (s *Spans) Observer(cat string) func(label string, start, end time.Time) {
+	if s == nil {
+		return nil
+	}
+	return func(label string, start, end time.Time) {
+		s.Observe(cat, label, start, end, nil)
+	}
+}
+
+// Snapshot returns the recorded spans that end at or after since, as
+// trace.Spans with times in seconds relative to since (spans that began
+// earlier get a negative start — the viewer handles it, and clamping
+// would misreport durations).
+func (s *Spans) Snapshot(since time.Time) []trace.Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	recs := make([]spanRec, 0, len(s.buf))
+	if s.full {
+		recs = append(recs, s.buf[s.next:]...)
+		recs = append(recs, s.buf[:s.next]...)
+	} else {
+		recs = append(recs, s.buf...)
+	}
+	s.mu.Unlock()
+	var out []trace.Span
+	for _, r := range recs {
+		if r.end.Before(since) {
+			continue
+		}
+		out = append(out, trace.Span{
+			Name:  r.name,
+			Cat:   r.cat,
+			Start: r.start.Sub(since).Seconds(),
+			End:   r.end.Sub(since).Seconds(),
+			Args:  r.args,
+		})
+	}
+	return out
+}
+
+// Dropped reports how many spans the ring has overwritten.
+func (s *Spans) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// WriteChrome exports the spans ending at or after since as Chrome-trace
+// JSON (chrome://tracing, Perfetto).
+func (s *Spans) WriteChrome(w io.Writer, since time.Time) error {
+	return trace.WriteChromeSpans(w, s.Snapshot(since))
+}

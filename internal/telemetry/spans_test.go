@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpansRingWrap(t *testing.T) {
+	s := NewSpans(4)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 6; i++ {
+		start := t0.Add(time.Duration(i) * time.Second)
+		s.Observe("test", "span", start, start.Add(100*time.Millisecond), nil)
+	}
+	got := s.Snapshot(t0)
+	if len(got) != 4 {
+		t.Fatalf("snapshot holds %d spans, want the last 4", len(got))
+	}
+	// Oldest surviving span started at t0+2s.
+	if got[0].Start != 2 {
+		t.Errorf("oldest surviving span starts at %g s, want 2", got[0].Start)
+	}
+	if s.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", s.Dropped())
+	}
+}
+
+func TestSpansSinceFilter(t *testing.T) {
+	s := NewSpans(16)
+	t0 := time.Unix(1000, 0)
+	s.Observe("test", "old", t0, t0.Add(time.Second), nil)
+	s.Observe("test", "straddles", t0.Add(9*time.Second), t0.Add(11*time.Second), nil)
+	s.Observe("test", "new", t0.Add(12*time.Second), t0.Add(13*time.Second), nil)
+
+	since := t0.Add(10 * time.Second)
+	got := s.Snapshot(since)
+	if len(got) != 2 {
+		t.Fatalf("snapshot holds %d spans, want 2 (old one filtered)", len(got))
+	}
+	// A span that began before the window keeps its negative start so the
+	// exported duration stays truthful.
+	if got[0].Name != "straddles" || got[0].Start != -1 || got[0].End != 1 {
+		t.Errorf("straddling span = %+v, want start -1 end 1", got[0])
+	}
+	if got[1].Name != "new" || got[1].Start != 2 {
+		t.Errorf("new span = %+v, want start 2", got[1])
+	}
+}
+
+func TestSpansRejectsBackwardsClock(t *testing.T) {
+	s := NewSpans(4)
+	t0 := time.Unix(1000, 0)
+	s.Observe("test", "backwards", t0, t0.Add(-time.Second), nil)
+	if got := s.Snapshot(time.Time{}); len(got) != 0 {
+		t.Fatalf("backwards span recorded: %+v", got)
+	}
+}
+
+func TestSpansNilSafe(t *testing.T) {
+	var s *Spans
+	s.Observe("test", "x", time.Unix(0, 0), time.Unix(1, 0), nil)
+	if got := s.Snapshot(time.Time{}); got != nil {
+		t.Errorf("nil Snapshot = %v, want nil", got)
+	}
+	if s.Dropped() != 0 {
+		t.Error("nil Dropped != 0")
+	}
+	if s.Observer("cat") != nil {
+		t.Error("nil Observer should return nil so exec skips the hook entirely")
+	}
+}
+
+func TestSpansObserverAdapter(t *testing.T) {
+	s := NewSpans(4)
+	obs := s.Observer("exec")
+	t0 := time.Unix(1000, 0)
+	obs("run SP (4,8,1.8)", t0, t0.Add(time.Second))
+	got := s.Snapshot(t0)
+	if len(got) != 1 || got[0].Cat != "exec" || got[0].Name != "run SP (4,8,1.8)" {
+		t.Fatalf("observer recorded %+v", got)
+	}
+}
+
+func TestSpansWriteChrome(t *testing.T) {
+	s := NewSpans(8)
+	t0 := time.Unix(1000, 0)
+	s.Observe("http", "POST /v1/predict", t0, t0.Add(time.Second), map[string]any{"id": "r-1"})
+	var b strings.Builder
+	if err := s.WriteChrome(&b, t0); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("exported %d events, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "POST /v1/predict" || ev.Ph != "X" || ev.Dur != 1e6 {
+		t.Errorf("event = %+v, want complete event of 1e6 us", ev)
+	}
+}

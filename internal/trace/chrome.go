@@ -68,3 +68,86 @@ func WriteChrome(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }
+
+// Span is a generic named wall-clock interval — the serving layer's unit
+// of tracing (HTTP request, characterisation sweep, single engine run),
+// as opposed to Event, which is a rank's virtual-time phase. Times are
+// seconds relative to the export window.
+type Span struct {
+	Name       string
+	Cat        string
+	Start, End float64        // seconds since the window origin
+	Args       map[string]any // optional annotations (request id, config, …)
+}
+
+// assignLanes packs spans onto display lanes (Chrome-trace thread ids):
+// two spans may share a lane only if they are disjoint in time or one
+// fully contains the other (the viewer renders containment as a flame
+// stack, but draws partial overlap on one lane as garbage). Greedy
+// first-fit over spans sorted by start (longer first on ties) keeps
+// request trees on one lane and pushes concurrent sweep workers onto
+// their own. Returns the lane index per span, in input order.
+func assignLanes(spans []Span) []int {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := spans[order[a]], spans[order[b]]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		return sa.End > sb.End
+	})
+	lanes := make([]int, len(spans))
+	var placed [][]Span // per lane, spans placed so far
+	for _, idx := range order {
+		s := spans[idx]
+		lane := -1
+		for l, ps := range placed {
+			ok := true
+			for _, p := range ps {
+				disjoint := s.Start >= p.End || s.End <= p.Start
+				contained := s.Start >= p.Start && s.End <= p.End
+				if !disjoint && !contained {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(placed)
+			placed = append(placed, nil)
+		}
+		placed[lane] = append(placed[lane], s)
+		lanes[idx] = lane
+	}
+	return lanes
+}
+
+// WriteChromeSpans writes wall-clock spans as a Chrome-trace JSON object,
+// reusing the same catapult format as WriteChrome: one complete ("X")
+// event per span, seconds mapped to microseconds, lanes assigned so that
+// concurrent spans never partially overlap on one row.
+func WriteChromeSpans(w io.Writer, spans []Span) error {
+	const pid, usPerSec = 0, 1e6
+	lanes := assignLanes(spans)
+	out := chromeFile{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans))}
+	for i, s := range spans {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   s.Start * usPerSec,
+			Dur:  (s.End - s.Start) * usPerSec,
+			Pid:  pid,
+			Tid:  lanes[i],
+			Args: s.Args,
+		})
+	}
+	return json.NewEncoder(w).Encode(out)
+}

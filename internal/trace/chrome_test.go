@@ -63,6 +63,54 @@ func TestWriteChrome(t *testing.T) {
 	}
 }
 
+func TestWriteChromeSpans(t *testing.T) {
+	// A request tree: the http span contains a characterize span which
+	// contains two concurrent run spans that partially overlap each other.
+	spans := []Span{
+		{Name: "http POST /v1/predict", Cat: "http", Start: 0, End: 1, Args: map[string]any{"id": "r-1"}},
+		{Name: "characterize", Cat: "model", Start: 0.1, End: 0.9},
+		{Name: "run A", Cat: "exec", Start: 0.2, End: 0.6},
+		{Name: "run B", Cat: "exec", Start: 0.4, End: 0.8},
+		{Name: "http GET /metrics", Cat: "http", Start: 1.5, End: 1.6},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(spans) {
+		t.Fatalf("%d trace events, want %d", len(doc.TraceEvents), len(spans))
+	}
+	byName := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("span event %+v is not a complete event", e)
+		}
+		byName[e.Name] = e.Tid
+	}
+	// Nested spans share the root's lane; the partially-overlapping sibling
+	// run moves to its own lane; the disjoint later request reuses lane 0.
+	if byName["characterize"] != byName["http POST /v1/predict"] {
+		t.Fatalf("contained span should share its parent's lane: %v", byName)
+	}
+	if byName["run B"] == byName["run A"] {
+		t.Fatalf("partially overlapping spans must not share a lane: %v", byName)
+	}
+	if byName["http GET /metrics"] != byName["http POST /v1/predict"] {
+		t.Fatalf("disjoint span should reuse the first lane: %v", byName)
+	}
+	first := doc.TraceEvents[0]
+	if first.Ts != 0 || first.Dur != 1e6 {
+		t.Fatalf("seconds must map to microseconds: %+v", first)
+	}
+	if id, _ := first.Args["id"].(string); id != "r-1" {
+		t.Fatalf("span args must survive export: %+v", first.Args)
+	}
+}
+
 func TestWriteChromeEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChrome(&buf, nil); err != nil {

@@ -200,8 +200,8 @@ func Gantt(events []Event, width int) string {
 	return b.String()
 }
 
-// Span returns the timeline extent: the latest End over all events.
-func Span(events []Event) float64 {
+// Extent returns the timeline extent: the latest End over all events.
+func Extent(events []Event) float64 {
 	t := 0.0
 	for _, e := range events {
 		t = math.Max(t, e.End)
@@ -216,7 +216,7 @@ func Span(events []Event) float64 {
 // rank's master thread, this is the measured counterpart of the model's
 // predicted UCR. Returns 0 for an empty timeline.
 func UCR(events []Event) float64 {
-	span := Span(events)
+	span := Extent(events)
 	if span <= 0 {
 		return 0
 	}

@@ -152,8 +152,8 @@ func TestRecorderLimitCountsDropped(t *testing.T) {
 	}
 }
 
-func TestSpan(t *testing.T) {
-	if got := Span(nil); got != 0 {
+func TestExtent(t *testing.T) {
+	if got := Extent(nil); got != 0 {
 		t.Fatalf("empty span %g", got)
 	}
 	events := []Event{
@@ -161,7 +161,7 @@ func TestSpan(t *testing.T) {
 		{Rank: 1, Kind: Network, Start: 1, End: 5},
 		{Rank: 0, Kind: MemStall, Start: 2, End: 3},
 	}
-	if got := Span(events); got != 5 {
+	if got := Extent(events); got != 5 {
 		t.Fatalf("span %g, want 5", got)
 	}
 }
