@@ -13,6 +13,7 @@
 package hybridperf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -120,7 +121,7 @@ func BenchmarkExploreFullSpace(b *testing.B) {
 	b.Run("workers8", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := pareto.EvaluateParallel(model.Core(), cfgs, S, 8); err != nil {
+			if _, err := pareto.EvaluateParallel(context.Background(), model.Core(), cfgs, S, 8); err != nil {
 				b.Fatal(err)
 			}
 		}

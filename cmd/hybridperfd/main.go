@@ -6,6 +6,12 @@
 // program) pair — with a fixed seed, so two daemons serve bit-identical
 // predictions — and cached for the process lifetime.
 //
+// Heavy work (characterisation campaigns, sweep evaluations) passes a
+// bounded admission gate (-max-campaigns): saturated requests are shed
+// with 429 + Retry-After. Each request can carry a deadline
+// (-request-timeout); a disconnected client or expired deadline cancels
+// its in-flight simulations cooperatively.
+//
 // Observability surface: GET /metrics (Prometheus text exposition of
 // request counters/latency histograms plus the simulation engine's own
 // counters), GET /healthz, GET /readyz, GET /debug/trace?duration=1s
@@ -46,6 +52,8 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		preload  = flag.String("preload", "", "comma-separated system/program pairs to characterise before serving, e.g. xeon/SP,arm/CP")
 		spanCap  = flag.Int("span-capacity", 0, "span flight-recorder capacity (0 = 4096)")
+		maxCamp  = flag.Int("max-campaigns", 0, "max concurrent characterisation/sweep campaigns; excess requests get 429 (0 = 4)")
+		reqTO    = flag.Duration("request-timeout", 0, "per-request deadline cancelling in-flight work, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 
@@ -68,10 +76,12 @@ func main() {
 	logger := slog.New(handler)
 
 	srv := telemetry.NewServer(telemetry.Config{
-		Workers:      *workers,
-		Seed:         *seed,
-		Logger:       logger,
-		SpanCapacity: *spanCap,
+		Workers:        *workers,
+		Seed:           *seed,
+		Logger:         logger,
+		SpanCapacity:   *spanCap,
+		MaxCampaigns:   *maxCamp,
+		RequestTimeout: *reqTO,
 	})
 
 	// Warm requested models before declaring readiness, so a load balancer

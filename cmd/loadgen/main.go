@@ -13,6 +13,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -99,9 +101,9 @@ func main() {
 	}
 
 	type shard struct {
-		lat      []time.Duration
-		ok, fail int
-		codes    map[int]int
+		lat                           []time.Duration
+		ok, fail, rejected, cancelled int
+		codes                         map[int]int
 	}
 	shards := make([]shard, *concurrency)
 	var wg sync.WaitGroup
@@ -121,9 +123,18 @@ func main() {
 				code, err := do()
 				sh.lat = append(sh.lat, time.Since(t0))
 				sh.codes[code]++
-				if err != nil || code >= 400 {
+				switch {
+				// Admission-control sheds (429 saturated, 503 interrupted)
+				// are the server working as designed under overload, not
+				// failures — counted apart so a soak past the admission
+				// limit still exits 0.
+				case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+					sh.rejected++
+				case err != nil && errors.Is(err, context.DeadlineExceeded):
+					sh.cancelled++
+				case err != nil || code >= 400:
 					sh.fail++
-				} else {
+				default:
 					sh.ok++
 				}
 			}
@@ -133,12 +144,14 @@ func main() {
 	elapsed := time.Since(start)
 
 	var lat []time.Duration
-	ok, fail := 0, 0
+	ok, fail, rejected, cancelled := 0, 0, 0, 0
 	codes := map[int]int{}
 	for _, sh := range shards {
 		lat = append(lat, sh.lat...)
 		ok += sh.ok
 		fail += sh.fail
+		rejected += sh.rejected
+		cancelled += sh.cancelled
 		for c, n := range sh.codes {
 			codes[c] += n
 		}
@@ -158,7 +171,9 @@ func main() {
 		fmt.Printf("  target qps %.0f", *qps)
 	}
 	fmt.Println()
-	fmt.Printf("requests     %d ok, %d failed (%.1f req/s)\n", ok, fail, float64(ok+fail)/elapsed.Seconds())
+	total := ok + fail + rejected + cancelled
+	fmt.Printf("requests     %d ok, %d failed, %d rejected, %d timed out (%.1f req/s)\n",
+		ok, fail, rejected, cancelled, float64(total)/elapsed.Seconds())
 	fmt.Printf("latency      p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
@@ -180,7 +195,9 @@ func main() {
 		fmt.Printf("%s:%d", name, codes[c])
 	}
 	fmt.Println()
-	if fail > 0 {
+	// Real failures are fatal; so is a run where every request was shed
+	// (a server rejecting 100% of traffic is not a passing soak).
+	if fail > 0 || ok == 0 {
 		os.Exit(1)
 	}
 }

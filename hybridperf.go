@@ -26,6 +26,7 @@
 package hybridperf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -208,7 +209,7 @@ func (m *Model) Explore(cfgs []Config, class Class) (points, frontier []Point, e
 	if err != nil {
 		return nil, nil, err
 	}
-	points, err = pareto.EvaluateParallel(m.core, cfgs, S, m.sweepWorkers())
+	points, err = pareto.EvaluateParallel(context.Background(), m.core, cfgs, S, m.sweepWorkers())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -222,7 +223,7 @@ func (m *Model) PredictAll(cfgs []Config, class Class) ([]Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
-	points, err := pareto.EvaluateParallel(m.core, cfgs, S, m.sweepWorkers())
+	points, err := pareto.EvaluateParallel(context.Background(), m.core, cfgs, S, m.sweepWorkers())
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package characterize
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,6 +26,12 @@ type Options struct {
 	Workers       int            // parallel simulation workers (default 4)
 	BaselineClass workload.Class // default ClassS, the paper's small input Ps
 	ProfileNodes  int            // nodes for the mpiP run (default 2)
+	// Ctx, when non-nil, cancels the campaign cooperatively: it is
+	// checked between stages and threaded into every simulation request,
+	// so a cancelled context stops in-flight simulations mid-run and the
+	// campaign returns an error wrapping ctx.Err(). Nil runs to
+	// completion. An uncancelled context never perturbs results.
+	Ctx context.Context
 	// Metrics instruments every simulation of the campaign and fills the
 	// Summary's aggregate engine counters. Off by default (the counters
 	// never alter results, only observe them).
@@ -89,6 +96,10 @@ func commFromSpec(spec *workload.Spec, cal float64) core.HybridComm {
 // returns the model inputs.
 func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, error) {
 	opts.fill()
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,6 +109,9 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 	baseIters, err := spec.Iterations(opts.BaselineClass)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("characterize: cancelled: %w", err)
 	}
 
 	// 1. Network characterisation (NetPIPE, Figure 3).
@@ -112,7 +126,13 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 		return nil, fmt.Errorf("characterize: power: %w", err)
 	}
 
-	// 3. Baseline executions: single node, all (c,f), small input.
+	// 3. Baseline executions: single node, all (c,f), small input. Every
+	// request carries the campaign context, so one cancellation stops
+	// each in-flight simulation mid-run and fails the queued remainder
+	// at their upfront check.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("characterize: cancelled before baseline sweep: %w", err)
+	}
 	var reqs []exec.Request
 	var keys []machine.CF
 	for c := 1; c <= prof.CoresPerNode; c++ {
@@ -124,6 +144,7 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 				Class:         opts.BaselineClass,
 				Cfg:           machine.Config{Nodes: 1, Cores: c, Freq: f},
 				Seed:          opts.Seed + int64(len(reqs)),
+				Ctx:           opts.Ctx,
 				Metrics:       opts.Metrics,
 				SharedMetrics: opts.SharedMetrics,
 				Observe:       opts.Observe,
@@ -160,6 +181,9 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 	comm := core.CommModel(nil)
 	var report mpip.Report
 	if spec.MsgsPerIter(opts.ProfileNodes) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("characterize: cancelled before mpiP run: %w", err)
+		}
 		n := opts.ProfileNodes
 		if n > prof.MaxNodes {
 			n = prof.MaxNodes
@@ -170,6 +194,7 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 			Class:         opts.BaselineClass,
 			Cfg:           machine.Config{Nodes: n, Cores: 1, Freq: prof.FMax()},
 			Seed:          opts.Seed + 7919,
+			Ctx:           opts.Ctx,
 			Metrics:       opts.Metrics,
 			SharedMetrics: opts.SharedMetrics,
 			Observe:       opts.Observe,

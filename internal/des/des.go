@@ -32,12 +32,21 @@
 package des
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"hybridperf/internal/metrics"
 )
+
+// ctxPollInterval is how many dispatch-loop steps (dispatched events plus
+// lookahead advances) pass between two polls of an attached context. It
+// trades cancellation latency against hot-path cost: polling ctx.Err()
+// takes a mutex, so checking every step would be measurable, while one
+// check per 1024 steps is noise yet still bounds the cancellation delay
+// of a run to microseconds of real time.
+const ctxPollInterval = 1024
 
 // abortSignal is the panic value injected into processes when the kernel
 // aborts a run (another process failed, the caller stopped the kernel, or
@@ -66,6 +75,15 @@ type Kernel struct {
 	failure error // first process panic, if any
 	aborted bool
 
+	// ctx, when non-nil, cancels the run cooperatively: the dispatch loop
+	// polls ctx.Err() every ctxPollInterval steps and records a
+	// cancellation as the run failure, unwinding through the ordinary
+	// abort path. Polling never touches the event queues or sequence
+	// numbers, so an uncancelled run is bit-identical with or without a
+	// context attached.
+	ctx       context.Context
+	ctxBudget int
+
 	// mx, when non-nil, receives observability counters. Hot-path hooks
 	// cost one nil check when off; the counters never feed back into
 	// scheduling, so instrumented runs stay bit-for-bit identical.
@@ -92,6 +110,41 @@ func (k *Kernel) Events() uint64 { return k.dispatched }
 // near the process count of the simulated system instead of growing with
 // the event count.
 func (k *Kernel) Procs() int { return len(k.procs) }
+
+// SetContext attaches a cancellation context to the kernel (nil, or a
+// context that can never be cancelled, detaches). A cancelled context
+// stops the run mid-simulation: Run returns an error wrapping ctx.Err()
+// and every process goroutine — pooled daemons included — is reaped by
+// the abort, so Shutdown afterwards is a no-op but remains safe to call.
+func (k *Kernel) SetContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		k.ctx = nil
+		return
+	}
+	k.ctx = ctx
+	k.ctxBudget = ctxPollInterval
+}
+
+// pollCtx checks the attached context at most once per ctxPollInterval
+// calls and records a cancellation as the run failure. It reports whether
+// the run is being cancelled.
+func (k *Kernel) pollCtx() bool {
+	if k.ctx == nil {
+		return false
+	}
+	k.ctxBudget--
+	if k.ctxBudget > 0 {
+		return false
+	}
+	k.ctxBudget = ctxPollInterval
+	if err := k.ctx.Err(); err != nil {
+		if k.failure == nil {
+			k.failure = fmt.Errorf("des: run cancelled after %d events at t=%g: %w", k.dispatched, k.now, err)
+		}
+		return true
+	}
+	return false
+}
 
 // SetMetrics attaches an observability counter set to the kernel (nil
 // detaches). Several kernels may share one Engine: its counters are
@@ -349,7 +402,11 @@ func (p *Proc) Advance(dt float64) {
 	k := p.k
 	if k.immH == len(k.imm) && !k.aborted {
 		t := k.now + dt
-		if t <= k.horizon && (len(k.heap) == 0 || k.heap[0].t > t) {
+		// The cancellation poll rides the fast path too: a single-process
+		// compute loop dispatches almost no events, so counting only
+		// dispatches would let it outrun a cancelled context. A cancelled
+		// run falls through to park, which unwinds via the abort path.
+		if t <= k.horizon && (len(k.heap) == 0 || k.heap[0].t > t) && !k.pollCtx() {
 			k.now = t
 			if k.mx != nil {
 				k.mx.Lookaheads.Inc()
@@ -425,6 +482,11 @@ func (k *Kernel) pop(e event) {
 // imm/heap head comparison and the pop are fused so each dispatch touches
 // the queues exactly once.
 func (k *Kernel) dispatchNext() *Proc {
+	// A recorded failure (process panic or context cancellation) stops
+	// dispatch: control unwinds to Run, which aborts every live process.
+	if k.failure != nil || k.pollCtx() {
+		return nil
+	}
 	for {
 		var ev event
 		fromImm := false
@@ -486,6 +548,11 @@ func (k *Kernel) dispatchNext() *Proc {
 // process without returning here.
 func (k *Kernel) Run(until float64) error {
 	k.horizon = until
+	if k.ctx != nil && k.failure == nil {
+		if err := k.ctx.Err(); err != nil {
+			k.failure = fmt.Errorf("des: run cancelled: %w", err)
+		}
+	}
 	if next := k.dispatchNext(); next != nil {
 		if k.mx != nil {
 			k.mx.SchedulerDispatches.Inc()

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -33,6 +34,15 @@ type Request struct {
 	Class workload.Class
 	Cfg   machine.Config
 	Seed  int64
+
+	// Ctx, when non-nil, cancels the run cooperatively: the simulation
+	// kernel polls the context every few thousand dispatch steps, so a
+	// cancelled context stops the run mid-simulation with an error
+	// wrapping ctx.Err() (errors.Is works) and the deferred Shutdown
+	// reaps every pooled goroutine. A nil Ctx runs to completion. An
+	// uncancelled context never perturbs results: runs stay bit-identical
+	// with or without one attached.
+	Ctx context.Context
 
 	// NoJitter disables OS-noise perturbation (micro-benchmark mode).
 	NoJitter bool
@@ -68,6 +78,11 @@ type Request struct {
 	// attach to. Purely observational: the wall clock never feeds into
 	// the simulation, so results stay bit-identical.
 	Observe func(label string, start, end time.Time)
+
+	// runSpec, when non-nil, replaces req.Spec.Run as the per-rank entry
+	// point — a test seam for injecting per-rank failures, which the
+	// built-in specs cannot produce after upfront validation.
+	runSpec func(p *des.Proc, env *workload.Env) error
 }
 
 // Result is the measurement outcome of one run.
@@ -141,9 +156,15 @@ func Run(req Request) (*Result, error) {
 	if _, err := req.Spec.Iterations(req.Class); err != nil {
 		return nil, err
 	}
+	if req.Ctx != nil {
+		if err := req.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exec: %s on %v: %w", req.Spec.Name, req.Cfg, err)
+		}
+	}
 
 	root := rng.New(req.Seed)
 	k := des.NewKernel()
+	k.SetContext(req.Ctx)
 	// Reap pooled worker/courier goroutines once results are read.
 	defer k.Shutdown()
 	sw := simnet.New(k, req.Prof, req.Cfg.Nodes)
@@ -176,7 +197,16 @@ func Run(req Request) (*Result, error) {
 		k.SetMetrics(mx)
 	}
 
-	var runErr error
+	runSpec := req.Spec.Run
+	if req.runSpec != nil {
+		runSpec = req.runSpec
+	}
+	// Rank failures are collected, not first-error-wins: a multi-rank
+	// failure is reported in full, one error per failing rank in rank
+	// completion order, aggregated with errors.Join below. Appends are
+	// safe without locking — the kernel runs exactly one process at a
+	// time and synchronises handoffs through channels.
+	var rankErrs []error
 	for i := 0; i < req.Cfg.Nodes; i++ {
 		env := &workload.Env{
 			Rank:  world.Rank(i),
@@ -187,16 +217,16 @@ func Run(req Request) (*Result, error) {
 			env.Governor = req.Governor(i)
 		}
 		k.Spawn(rankName(i), func(p *des.Proc) {
-			if err := req.Spec.Run(p, env); err != nil && runErr == nil {
-				runErr = err
+			if err := runSpec(p, env); err != nil {
+				rankErrs = append(rankErrs, fmt.Errorf("%s: %w", p.Name(), err))
 			}
 		})
 	}
 	if err := k.Run(math.Inf(1)); err != nil {
 		return nil, fmt.Errorf("exec: %s on %v: %w", req.Spec.Name, req.Cfg, err)
 	}
-	if runErr != nil {
-		return nil, runErr
+	if err := errors.Join(rankErrs...); err != nil {
+		return nil, err
 	}
 
 	res := &Result{
@@ -274,6 +304,12 @@ func runSafe(req Request) (res *Result, err error) {
 // buffered to the full request count so the producer never blocks: even
 // if a worker died, the remaining workers drain the queue and Sweep
 // terminates.
+//
+// Cancellation rides the per-request contexts: when the requests carry a
+// cancelled (or later-cancelled) Ctx, in-flight simulations stop
+// mid-run, queued ones fail their upfront context check, and the joined
+// error reports the cancellation per request (errors.Is finds
+// context.Canceled / DeadlineExceeded through the join).
 func Sweep(reqs []Request, workers int) ([]*Result, error) {
 	if workers < 1 {
 		workers = 1

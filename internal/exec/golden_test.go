@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -160,6 +161,21 @@ func TestGoldenDeterminism(t *testing.T) {
 			}
 			if got, want := res4.Metrics.Engine, shared.SharedMetrics.Snapshot(); got != want {
 				t.Fatalf("single-run shared-engine delta should equal the engine total:\n got  %+v\n want %+v", got, want)
+			}
+			// A live (cancellable, never cancelled) request context arms the
+			// kernel's cancellation poll; the poll must never perturb the
+			// simulation — byte-identical outputs with a context attached.
+			ctx, cancel := context.WithCancel(context.Background())
+			withCtx := req
+			withCtx.Ctx = ctx
+			res5, err := Run(withCtx)
+			cancel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res5.Time != res.Time || res5.Energy != res.Energy ||
+				res5.MeasuredEnergy != res.MeasuredEnergy || res5.Comm != res.Comm {
+				t.Fatalf("request context perturbed %s: %+v vs %+v", name, res5, res)
 			}
 			if gen {
 				fmt.Printf("\t%q: {Time: %q, Energy: %q, Measured: %q, Msgs: %d, Bytes: %q, Wait: %q},\n",

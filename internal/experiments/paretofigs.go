@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,7 +20,7 @@ func (r *Runner) paretoFigure(id, title string, prof *machine.Profile, spec *wor
 	}
 	S := r.iterations(spec)
 	cfgs := pareto.Space(nodes, prof.CoresPerNode, prof.Frequencies)
-	points, err := pareto.EvaluateParallel(model, cfgs, S, r.cfg.Workers)
+	points, err := pareto.EvaluateParallel(context.Background(), model, cfgs, S, r.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -52,7 +53,7 @@ func (r *Runner) ucrFigure(id, title string, prof *machine.Profile) (*Artifact, 
 			return nil, err
 		}
 		S := r.iterations(spec)
-		points, err := pareto.EvaluateParallel(model, cfgs, S, r.cfg.Workers)
+		points, err := pareto.EvaluateParallel(context.Background(), model, cfgs, S, r.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

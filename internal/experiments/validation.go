@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,7 +32,7 @@ func (r *Runner) validate(prof *machine.Profile, spec *workload.Spec, cfgs []mac
 		return nil, err
 	}
 	S := r.iterations(spec)
-	points, err := pareto.EvaluateParallel(model, cfgs, S, r.cfg.Workers)
+	points, err := pareto.EvaluateParallel(context.Background(), model, cfgs, S, r.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +213,7 @@ func (r *Runner) Fig7() (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	points, err := pareto.EvaluateParallel(model, cfgs, S, r.cfg.Workers)
+	points, err := pareto.EvaluateParallel(context.Background(), model, cfgs, S, r.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

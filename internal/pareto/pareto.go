@@ -5,6 +5,7 @@
 package pareto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,12 @@ import (
 	"hybridperf/internal/core"
 	"hybridperf/internal/machine"
 )
+
+// cancelStride is how many configurations a sweep shard evaluates between
+// two context polls: predictions cost tens of nanoseconds, so polling
+// every point would dominate, while every 256 points bounds the
+// cancellation latency to microseconds.
+const cancelStride = 256
 
 // Point pairs a configuration with its model prediction.
 type Point struct {
@@ -77,6 +84,13 @@ func Evaluate(m *core.Model, cfgs []machine.Config, S int) ([]Point, error) {
 // its per-node-count communication moments, so concurrent workers share
 // one reduction per n instead of re-deriving it per configuration.
 //
+// The sweep is cancellable: every shard polls ctx every cancelStride
+// configurations (and once up front), so a cancelled context stops the
+// evaluation within microseconds with an error wrapping ctx.Err(). A nil
+// ctx means context.Background(). Cancellation never perturbs completed
+// points — the poll only aborts, it does not reorder writes — so an
+// uncancelled sweep is bit-identical with any context attached.
+//
 // The space is sharded into contiguous chunks, one per worker; each shard
 // stops at its first failing configuration, and the shard errors are
 // aggregated with errors.Join in configuration order (the first error in
@@ -87,15 +101,18 @@ func Evaluate(m *core.Model, cfgs []machine.Config, S int) ([]Point, error) {
 // output unchanged. For every worker count the returned slice is
 // bit-identical to serial Evaluate: results are written by index with the
 // same per-point code.
-func EvaluateParallel(m *core.Model, cfgs []machine.Config, S, workers int) ([]Point, error) {
+func EvaluateParallel(ctx context.Context, m *core.Model, cfgs []machine.Config, S, workers int) ([]Point, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
-	if workers <= 1 {
-		return Evaluate(m, cfgs, S)
+	if workers < 1 {
+		workers = 1
 	}
 	pts := make([]Point, len(cfgs))
 	shardErrs := make([]error, workers)
@@ -107,12 +124,25 @@ func EvaluateParallel(m *core.Model, cfgs []machine.Config, S, workers int) ([]P
 			hi = len(cfgs)
 		}
 		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					shardErrs[w] = fmt.Errorf("pareto: sweep cancelled at configuration %d: %w", i, err)
+					return
+				}
+			}
 			pts[i].Cfg = cfgs[i]
 			if err := m.PredictInto(&pts[i].Pred, cfgs[i], S); err != nil {
 				shardErrs[w] = fmt.Errorf("pareto: %v: %w", cfgs[i], err)
 				return
 			}
 		}
+	}
+	if workers == 1 {
+		runShard(0)
+		if err := shardErrs[0]; err != nil {
+			return nil, err
+		}
+		return pts, nil
 	}
 	if runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup

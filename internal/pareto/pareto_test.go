@@ -1,6 +1,7 @@
 package pareto
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -320,7 +321,7 @@ func TestEvaluateParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 1, 2, 3, 7, 8, len(cfgs), len(cfgs) + 5} {
-		got, err := EvaluateParallel(m, cfgs, 25, workers)
+		got, err := EvaluateParallel(context.Background(), m, cfgs, 25, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -343,7 +344,7 @@ func TestEvaluateParallelAggregatesErrors(t *testing.T) {
 	good := machine.Config{Nodes: 1, Cores: 1, Freq: 1e9}
 	bad := machine.Config{Nodes: 1, Cores: 9, Freq: 1e9} // no baseline point
 	cfgs := []machine.Config{good, bad, good, bad}
-	_, err := EvaluateParallel(m, cfgs, 10, 2) // shards [0,1] and [2,3]
+	_, err := EvaluateParallel(context.Background(), m, cfgs, 10, 2) // shards [0,1] and [2,3]
 	if err == nil {
 		t.Fatal("missing baseline swallowed")
 	}
@@ -352,13 +353,13 @@ func TestEvaluateParallelAggregatesErrors(t *testing.T) {
 		t.Fatalf("error mentions the failing configuration %d times, want one per shard: %v", n, err)
 	}
 	// Single failing configuration: the joined error unwraps to it.
-	_, err = EvaluateParallel(m, []machine.Config{good, good, good, bad}, 10, 2)
+	_, err = EvaluateParallel(context.Background(), m, []machine.Config{good, good, good, bad}, 10, 2)
 	var mbe *core.MissingBaselineError
 	if !errors.As(err, &mbe) {
 		t.Fatalf("error lost the MissingBaselineError cause: %v", err)
 	}
 	// Empty space stays a no-op.
-	pts, err := EvaluateParallel(m, nil, 10, 4)
+	pts, err := EvaluateParallel(context.Background(), m, nil, 10, 4)
 	if err != nil || len(pts) != 0 {
 		t.Fatalf("empty space: %v, %v", pts, err)
 	}
@@ -404,6 +405,35 @@ func TestEDPOptimaOnFrontier(t *testing.T) {
 		}
 		if !OnFrontier(front, p.Cfg) {
 			t.Fatalf("%s optimum %v not on the Pareto frontier", name, p.Cfg)
+		}
+	}
+}
+
+// TestEvaluateParallelCancelled: a dead context fails the sweep promptly
+// for any worker count, with an error unwrapping to context.Canceled.
+func TestEvaluateParallelCancelled(t *testing.T) {
+	m := commModel(t)
+	cfgs := Space(Range(1, 12), 2, []float64{1e9, 2e9})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2, 8} {
+		_, err := EvaluateParallel(ctx, m, cfgs, 25, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: EvaluateParallel() = %v, want context.Canceled", workers, err)
+		}
+	}
+	// nil ctx means Background: never cancelled, identical to serial.
+	got, err := EvaluateParallel(nil, m, cfgs, 25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate(m, cfgs, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil-ctx point %d differs: %+v vs %+v", i, got[i], want[i])
 		}
 	}
 }

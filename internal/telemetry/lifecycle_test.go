@@ -1,0 +1,344 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newLifecycleServer is newTestServer with the admission and timeout
+// knobs exposed.
+func newLifecycleServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := NewServer(cfg)
+	s.SetReady(true)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+const lbPredictBody = `{"system":"arm","program":"LB","class":"S","nodes":2,"cores":4,"freq_ghz":1.4}`
+
+// TestFailedCharacterisationRetried pins the cache-poisoning fix: a
+// campaign that fails must not burn its cache slot — the failing request
+// reports the error, and the next request for the same key
+// re-characterises and succeeds.
+func TestFailedCharacterisationRetried(t *testing.T) {
+	s, ts := newLifecycleServer(t, Config{})
+	var calls atomic.Int32
+	s.charTestHook = func(ctx context.Context, key modelKey) error {
+		if calls.Add(1) == 1 {
+			return errors.New("transient infrastructure failure")
+		}
+		return nil
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", lbPredictBody)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing campaign status %d, want 500: %s", resp.StatusCode, raw)
+	}
+	msg, _ := errorEnvelope(t, resp, raw)
+	if !strings.Contains(msg, "transient infrastructure failure") {
+		t.Errorf("error %q does not carry the campaign failure", msg)
+	}
+	// The poisoned-cache symptom was exactly this: the retry hitting the
+	// same dead entry forever.
+	resp, raw = postJSON(t, ts.URL+"/v1/predict", lbPredictBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after failed campaign status %d, want 200: %s", resp.StatusCode, raw)
+	}
+	if n := s.mChar.With("arm", "LB").Value(); n != 1 {
+		t.Errorf("characterisations = %d, want exactly 1 (the successful retry)", n)
+	}
+}
+
+// TestPanickedCharacterisationRetried: a panic inside the campaign burns
+// the sync.Once with neither model nor error recorded — before the fix
+// that served nil-model 500s for the process lifetime. Now the entry is
+// evicted on the way out and the next request recovers.
+func TestPanickedCharacterisationRetried(t *testing.T) {
+	s, ts := newLifecycleServer(t, Config{})
+	var calls atomic.Int32
+	s.charTestHook = func(ctx context.Context, key modelKey) error {
+		if calls.Add(1) == 1 {
+			panic("characterisation exploded")
+		}
+		return nil
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", lbPredictBody)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking campaign status %d, want 500: %s", resp.StatusCode, raw)
+	}
+	if n := s.mPanics.With("/v1/predict").Value(); n != 1 {
+		t.Errorf("panic counter = %d, want 1", n)
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/predict", lbPredictBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after panicked campaign status %d, want 200: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestUnknownNamesLeaveNoCacheEntries: garbage coordinates must never
+// occupy model-cache slots.
+func TestUnknownNamesLeaveNoCacheEntries(t *testing.T) {
+	s, ts := newLifecycleServer(t, Config{})
+	for _, body := range []string{
+		`{"system":"cray","program":"SP"}`,
+		`{"system":"xeon","program":"NOPE"}`,
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/predict", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400: %s", resp.StatusCode, raw)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.models)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d cache entries after unknown-name requests, want 0", n)
+	}
+}
+
+// TestDecodeJSONRejections covers the request-body hygiene added to
+// decodeJSON: oversized bodies are 413 (not a misleading 400), unknown
+// fields and trailing data are rejected.
+func TestDecodeJSONRejections(t *testing.T) {
+	_, ts := newLifecycleServer(t, Config{})
+	huge := `{"system":"` + strings.Repeat("a", 2<<20) + `"}`
+	cases := []struct {
+		name, body string
+		wantStatus int
+		wantSubstr string
+	}{
+		{"oversized body", huge, http.StatusRequestEntityTooLarge, "exceeds"},
+		{"unknown field", `{"system":"xeon","program":"SP","bogus":1}`, 400, "bogus"},
+		{"trailing data", `{"system":"xeon","program":"SP"}{"more":true}`, 400, "trailing data"},
+		{"two values", `{"system":"xeon","program":"SP"} 17`, 400, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := postJSON(t, ts.URL+"/v1/predict", tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d: %.200s", resp.StatusCode, tc.wantStatus, raw)
+			}
+			msg, status := errorEnvelope(t, resp, raw)
+			if status != tc.wantStatus {
+				t.Errorf("envelope status %d, want %d", status, tc.wantStatus)
+			}
+			if !strings.Contains(msg, tc.wantSubstr) {
+				t.Errorf("error %q does not mention %q", msg, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestAdmissionControlSheds saturates the single admission slot with a
+// blocked campaign and expects concurrent heavy requests to get 429 +
+// Retry-After immediately, with the rejected counter moving; releasing
+// the slot lets traffic through again.
+func TestAdmissionControlSheds(t *testing.T) {
+	s, ts := newLifecycleServer(t, Config{MaxCampaigns: 1})
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	s.charTestHook = func(ctx context.Context, key modelKey) error {
+		if calls.Add(1) == 1 {
+			close(holding)
+			<-release
+		}
+		return nil
+	}
+	// Request A: cold predict, campaign leader claims the only slot and
+	// blocks in the hook.
+	aDone := make(chan struct{})
+	go func() {
+		defer close(aDone)
+		resp, raw := postJSON(t, ts.URL+"/v1/predict", lbPredictBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("holder request status %d: %s", resp.StatusCode, raw)
+		}
+	}()
+	<-holding
+
+	// Request B: a cold predict for a different key cannot get a slot.
+	resp, raw := postJSON(t, ts.URL+"/v1/predict",
+		`{"system":"xeon","program":"SP","class":"S","nodes":1,"cores":1,"freq_ghz":1.8}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated predict status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	// A sweep is shed at its own handler-level gate.
+	resp, raw = postJSON(t, ts.URL+"/v1/sweep", `{"system":"xeon","program":"SP","class":"S"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated sweep status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if n := s.mRejected.With("/v1/predict", "saturated").Value(); n != 1 {
+		t.Errorf("predict rejected counter = %d, want 1", n)
+	}
+	if n := s.mRejected.With("/v1/sweep", "saturated").Value(); n != 1 {
+		t.Errorf("sweep rejected counter = %d, want 1", n)
+	}
+
+	close(release)
+	<-aDone
+	// Slot free again: the previously shed predict now goes through.
+	resp, raw = postJSON(t, ts.URL+"/v1/predict",
+		`{"system":"xeon","program":"SP","class":"S","nodes":1,"cores":1,"freq_ghz":1.8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release predict status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestRequestTimeoutInterrupts: with -request-timeout set, a campaign
+// outliving the deadline is cancelled and the request fails 503 with
+// Retry-After; the cancellation counter records the timeout and the
+// next request (fresh deadline) succeeds.
+func TestRequestTimeoutInterrupts(t *testing.T) {
+	s, ts := newLifecycleServer(t, Config{RequestTimeout: 50 * time.Millisecond})
+	var calls atomic.Int32
+	s.charTestHook = func(ctx context.Context, key modelKey) error {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // outlive the request deadline
+			return ctx.Err()
+		}
+		return nil
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", lbPredictBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out campaign status %d, want 503: %s", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 response missing Retry-After")
+	}
+	msg, _ := errorEnvelope(t, resp, raw)
+	if !strings.Contains(msg, "interrupted") {
+		t.Errorf("error %q does not say the request was interrupted", msg)
+	}
+	if n := s.mCancelled.With("/v1/predict", "timeout").Value(); n != 1 {
+		t.Errorf("timeout cancellation counter = %d, want 1", n)
+	}
+	// The interrupted entry was evicted, so a fresh request (with a fresh
+	// deadline) re-characterises instead of hitting a poisoned slot. The
+	// retry itself would re-run the full campaign against the same short
+	// deadline — timing-sensitive under -race — so assert the eviction
+	// directly; retry-succeeds is pinned by the failure and disconnect
+	// tests above, which run without a server-wide deadline.
+	s.mu.Lock()
+	_, cached := s.models[modelKey{system: "arm", program: "LB"}]
+	s.mu.Unlock()
+	if cached {
+		t.Error("timed-out campaign left its cache entry behind")
+	}
+}
+
+// TestClientDisconnectMidSweep: a client vanishing mid-campaign must
+// cancel the in-flight work — the handler returns promptly, every
+// simulation goroutine is reaped, the cache slot is evicted, and the
+// cancellation counter records the disconnect.
+func TestClientDisconnectMidSweep(t *testing.T) {
+	s, ts := newLifecycleServer(t, Config{})
+	started := make(chan struct{})
+	var calls atomic.Int32
+	s.charTestHook = func(ctx context.Context, key modelKey) error {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-ctx.Done() // hold the campaign until the client is gone
+		}
+		return nil // proceed: the campaign must die on the dead context itself
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep",
+		strings.NewReader(`{"system":"arm","program":"LB","class":"S"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("request succeeded despite the disconnect")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("disconnected sweep did not return within 5s")
+	}
+
+	// Every kernel/process goroutine must be reaped once the handler
+	// unwinds; allow the runtime a moment to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines did not settle after disconnect: %d before, %d after", before, n)
+	}
+	waitCancelled := time.Now().Add(5 * time.Second)
+	for s.mCancelled.With("/v1/sweep", "disconnect").Value() == 0 && time.Now().Before(waitCancelled) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := s.mCancelled.With("/v1/sweep", "disconnect").Value(); n != 1 {
+		t.Errorf("disconnect cancellation counter = %d, want 1", n)
+	}
+
+	// The cancelled campaign left no poisoned entry: the same key now
+	// characterises from scratch and serves.
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", lbPredictBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after disconnect status %d, want 200: %s", resp.StatusCode, raw)
+	}
+	if n := s.mChar.With("arm", "LB").Value(); n != 1 {
+		t.Errorf("characterisations = %d, want 1 (the cancelled campaign must not count)", n)
+	}
+}
+
+// TestInFlightGaugeReadsZero: the /metrics route is exempt from in-flight
+// tracking, so an idle server's scrape must report exactly 0 — the CI
+// serve-smoke invariant.
+func TestInFlightGaugeReadsZero(t *testing.T) {
+	_, ts := newLifecycleServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", lbPredictBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, raw)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, samples := parseExposition(t, string(text))
+	if got := samples["hybridperf_http_requests_in_flight"]; got != "0" {
+		t.Errorf("in-flight gauge = %q during its own scrape, want 0", got)
+	}
+}

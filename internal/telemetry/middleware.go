@@ -71,9 +71,17 @@ type requestIDKey struct{}
 // generated request id (also returned as X-Request-Id), the in-flight
 // gauge, per-route request counting and latency observation, a recorded
 // span, panic recovery (500 + stack log instead of a dead connection),
-// and one structured access-log line carrying whatever coordinates the
-// handler annotated.
+// the optional per-request deadline, cancellation accounting, and one
+// structured access-log line carrying whatever coordinates the handler
+// annotated.
+//
+// The /metrics route is exempt from the in-flight gauge: a scrape would
+// otherwise always observe itself as one in-flight request, so the gauge
+// could never read 0 from outside. /debug/trace is exempt from the
+// request deadline — it blocks for its recording window by design.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	trackInflight := route != "/metrics"
+	applyTimeout := s.cfg.RequestTimeout > 0 && route != "/debug/trace"
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := fmt.Sprintf("r-%08d", s.seq.Add(1))
@@ -82,12 +90,30 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		ann := &annotations{}
 		ctx := context.WithValue(r.Context(), annotationsKey{}, ann)
 		ctx = context.WithValue(ctx, requestIDKey{}, id)
+		if applyTimeout {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
 		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w}
-		s.mInflight.With().Inc()
+		if trackInflight {
+			s.mInflight.With().Inc()
+		}
 		defer func() {
-			s.mInflight.With().Dec()
+			if trackInflight {
+				s.mInflight.With().Dec()
+			}
+			// A context that ended before the handler returned means the
+			// request was cut short: deadline expiry or client disconnect.
+			if err := ctx.Err(); err != nil {
+				reason := "disconnect"
+				if err == context.DeadlineExceeded {
+					reason = "timeout"
+				}
+				s.mCancelled.With(route, reason).Inc()
+			}
 			if rec := recover(); rec != nil {
 				s.mPanics.With(route).Inc()
 				s.log.LogAttrs(ctx, slog.LevelError, "panic",

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -39,6 +40,18 @@ type Config struct {
 	Logger *slog.Logger
 	// SpanCapacity bounds the span flight recorder (<= 0 means 4096).
 	SpanCapacity int
+	// MaxCampaigns bounds the heavy work admitted concurrently —
+	// characterisation campaigns and sweep evaluations (<= 0 means 4).
+	// Excess requests are shed with 429 + Retry-After instead of
+	// queueing, so saturation surfaces at the client immediately rather
+	// than as unbounded latency.
+	MaxCampaigns int
+	// RequestTimeout, when > 0, bounds every instrumented request with
+	// context.WithTimeout; expiry cancels in-flight characterisations
+	// and sweeps mid-simulation and the request fails 503 with
+	// Retry-After. /debug/trace is exempt (it legitimately blocks for
+	// its recording window). Zero disables the per-request deadline.
+	RequestTimeout time.Duration
 }
 
 // Server is the hybridperfd prediction service: models characterised
@@ -58,20 +71,35 @@ type Server struct {
 	mu     sync.Mutex
 	models map[modelKey]*modelEntry
 
-	mReq      *CounterVec
-	mDur      *HistogramVec
-	mInflight *GaugeVec
-	mPanics   *CounterVec
-	mModels   *GaugeVec
-	mChar     *CounterVec
+	// sem is the admission-control semaphore: one slot per concurrently
+	// admitted characterisation campaign or sweep evaluation.
+	sem chan struct{}
+
+	mReq       *CounterVec
+	mDur       *HistogramVec
+	mInflight  *GaugeVec
+	mPanics    *CounterVec
+	mModels    *GaugeVec
+	mChar      *CounterVec
+	mRejected  *CounterVec
+	mCancelled *CounterVec
+
+	// charTestHook, when non-nil (tests only), runs inside the
+	// characterisation critical section before the campaign, with the
+	// request context; a non-nil error (or a panic) fails the campaign.
+	charTestHook func(ctx context.Context, key modelKey) error
 }
 
 type modelKey struct{ system, program string }
 
 // modelEntry caches one characterised model; once guarantees a single
-// characterisation per key even under concurrent first requests.
+// characterisation per key even under concurrent first requests. ready
+// flips only after a completed, successful campaign — entries that never
+// reach ready are evicted by Server.model so the next request retries
+// instead of serving a poisoned cache slot forever.
 type modelEntry struct {
 	once  sync.Once
+	ready atomic.Bool
 	prof  *machine.Profile
 	spec  *workload.Spec
 	model *core.Model
@@ -83,6 +111,9 @@ type modelEntry struct {
 func NewServer(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxCampaigns <= 0 {
+		cfg.MaxCampaigns = 4
 	}
 	log := cfg.Logger
 	if log == nil {
@@ -96,6 +127,7 @@ func NewServer(cfg Config) *Server {
 		spans:  NewSpans(cfg.SpanCapacity),
 		start:  time.Now(),
 		models: map[modelKey]*modelEntry{},
+		sem:    make(chan struct{}, cfg.MaxCampaigns),
 	}
 	s.mReq = s.reg.Counter("hybridperf_http_requests_total",
 		"HTTP requests served, by route, method and status code.", "route", "method", "code")
@@ -109,6 +141,10 @@ func NewServer(cfg Config) *Server {
 		"Characterised models held in the cache.")
 	s.mChar = s.reg.Counter("hybridperf_model_characterizations_total",
 		"Characterisation campaigns run, by system and program.", "system", "program")
+	s.mRejected = s.reg.Counter("hybridperf_http_requests_rejected_total",
+		"Requests shed by admission control, by route and reason.", "route", "reason")
+	s.mCancelled = s.reg.Counter("hybridperf_http_requests_cancelled_total",
+		"Requests whose context ended before completion, by route and reason (disconnect or timeout).", "route", "reason")
 	// In-flight starts existing so the gauge appears on the first scrape.
 	s.mInflight.With().Set(0)
 	s.mModels.With().Set(0)
@@ -137,8 +173,10 @@ func NewServer(cfg Config) *Server {
 
 // Warm characterises one (system, program) pair ahead of traffic, so a
 // deployment can flip /readyz only after its hot models are cached.
+// Warm bypasses admission control: it runs before the server takes
+// traffic.
 func (s *Server) Warm(system, program string) error {
-	_, err := s.model(modelKey{system: system, program: program})
+	_, err := s.model(context.Background(), modelKey{system: system, program: program}, true)
 	return err
 }
 
@@ -191,11 +229,49 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	})
 }
 
+// errCharAborted marks a cache entry whose characterisation panicked
+// inside its sync.Once: the Once is burnt (done, but no model and no
+// error recorded), so waiters report a retryable failure instead of
+// dereferencing a nil model.
+var errCharAborted = errors.New("characterisation aborted before completing; retry")
+
+// errSaturated reports a characterisation campaign shed because every
+// admission slot was taken. Handlers map it to 429 + Retry-After.
+var errSaturated = errors.New("admission slots saturated")
+
 // model returns the cached model for (system, program), characterising it
 // on first use with the server's collectors attached: every simulation
 // feeds the shared engine counters and the span recorder, and the
-// campaign logs one line with its engine-event delta.
-func (s *Server) model(key modelKey) (*modelEntry, error) {
+// campaign logs one line with its engine-event delta. ctx cancels an
+// in-flight characterisation mid-simulation (client disconnect, request
+// timeout).
+//
+// Admission: unless the caller is already admitted (Warm runs before
+// traffic; sweep handlers hold a slot for the whole request), the
+// campaign leader claims an admission slot inside the once — so the
+// semaphore counts actual campaigns, and concurrent cold requests for
+// one key still collapse to a single characterisation instead of
+// shedding each other. A saturated semaphore fails the campaign with
+// errSaturated, the entry is evicted, and the next request retries.
+//
+// Cache hygiene: coordinates are validated before the cache is touched,
+// so unknown system/program names never occupy map entries (a stream of
+// garbage keys cannot grow s.models without bound), and an entry whose
+// campaign failed, was cancelled or panicked is evicted before returning,
+// so the next request for that key re-characterises instead of being
+// poisoned for the process lifetime. Concurrent waiters on a failing
+// campaign all observe its error; the first request after eviction
+// retries fresh.
+func (s *Server) model(ctx context.Context, key modelKey, admitted bool) (*modelEntry, error) {
+	prof, err := machine.ByName(key.system)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.ByName(key.program)
+	if err != nil {
+		return nil, err
+	}
+
 	s.mu.Lock()
 	e, ok := s.models[key]
 	if !ok {
@@ -203,22 +279,42 @@ func (s *Server) model(key modelKey) (*modelEntry, error) {
 		s.models[key] = e
 	}
 	s.mu.Unlock()
-	e.once.Do(func() {
-		prof, err := machine.ByName(key.system)
-		if err != nil {
-			e.err = err
-			return
+
+	// Runs on every exit — including a panic unwinding out of once.Do —
+	// and evicts the entry unless the campaign completed successfully.
+	// The pointer comparison keeps the eviction idempotent: a newer
+	// retry entry under the same key is never clobbered.
+	defer func() {
+		if !e.ready.Load() {
+			s.mu.Lock()
+			if s.models[key] == e {
+				delete(s.models, key)
+			}
+			s.mu.Unlock()
 		}
-		spec, err := workload.ByName(key.program)
-		if err != nil {
-			e.err = err
-			return
+	}()
+
+	e.once.Do(func() {
+		if !admitted {
+			release, ok := s.acquire()
+			if !ok {
+				e.err = fmt.Errorf("characterize %s/%s: %w", key.system, key.program, errSaturated)
+				return
+			}
+			defer release()
+		}
+		if s.charTestHook != nil {
+			if err := s.charTestHook(ctx, key); err != nil {
+				e.err = fmt.Errorf("characterize %s/%s: %w", key.system, key.program, err)
+				return
+			}
 		}
 		start := time.Now()
 		pre := s.engine.Snapshot()
 		sum, err := characterize.Run(prof, spec, characterize.Options{
 			Seed:          s.cfg.Seed,
 			Workers:       s.cfg.Workers,
+			Ctx:           ctx,
 			SharedMetrics: s.engine,
 			Observe:       s.spans.Observer("exec"),
 		})
@@ -244,8 +340,50 @@ func (s *Server) model(key modelKey) (*modelEntry, error) {
 			slog.Uint64("engine_events", delta.Events),
 			slog.Uint64("mpi_messages", delta.Messages))
 		e.prof, e.spec, e.model = prof, spec, m
+		e.ready.Store(true)
 	})
-	return e, e.err
+	if e.err != nil {
+		return nil, e.err
+	}
+	if !e.ready.Load() {
+		return nil, fmt.Errorf("characterize %s/%s: %w", key.system, key.program, errCharAborted)
+	}
+	return e, nil
+}
+
+// acquire claims one admission slot, returning an idempotent release.
+// ok is false when the semaphore is saturated; the caller sheds the
+// request with reject.
+func (s *Server) acquire() (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		var once sync.Once
+		return func() { once.Do(func() { <-s.sem }) }, true
+	default:
+		return nil, false
+	}
+}
+
+// reject sheds a request at the admission boundary: 429 with a
+// Retry-After hint, counted per route.
+func (s *Server) reject(w http.ResponseWriter, route string) {
+	s.mRejected.With(route, "saturated").Inc()
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests,
+		"saturated: %d characterisation/sweep campaigns already in flight; retry later", cap(s.sem))
+}
+
+// interrupted maps a cancelled or timed-out model/sweep error to a 503
+// with Retry-After (the work was shed, not wrong; a retry may succeed)
+// and reports whether it handled the error.
+func interrupted(w http.ResponseWriter, err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errCharAborted) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "request interrupted: %v", err)
+		return true
+	}
+	return false
 }
 
 // configJSON is the wire form of a machine.Config.
@@ -278,11 +416,27 @@ func toPredictionJSON(p core.Prediction) predictionJSON {
 	}
 }
 
-// decodeJSON reads a bounded JSON body into v.
+// decodeJSON reads a bounded JSON body into v. Malformed bodies fail
+// loudly and precisely: an oversized body is 413 (not a misleading
+// "invalid JSON" 400), an unknown field is rejected instead of silently
+// defaulting a typo'd knob, and trailing data after the first JSON value
+// is an error rather than ignored.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
 		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		httpError(w, http.StatusBadRequest,
+			"invalid JSON body: trailing data after the request object")
 		return false
 	}
 	return true
@@ -290,10 +444,13 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // resolve validates the model coordinates shared by predict and sweep and
 // returns the cached (characterising if needed) model entry plus the
-// class iteration count. Unknown names and malformed classes are the
-// caller's fault (400); a failed characterisation of valid coordinates is
-// ours (500).
-func (s *Server) resolve(w http.ResponseWriter, r *http.Request, system, program, class string) (*modelEntry, workload.Class, int, bool) {
+// class iteration count. admitted marks callers already holding an
+// admission slot (sweep), so a cold characterisation doesn't claim a
+// second one. Unknown names and malformed classes are the caller's fault
+// (400); a shed campaign is 429 + Retry-After; a cancelled, timed-out or
+// aborted campaign is retryable (503 + Retry-After); a failed
+// characterisation of valid coordinates is ours (500).
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, system, program, class string, admitted bool) (*modelEntry, workload.Class, int, bool) {
 	if _, err := machine.ByName(system); err != nil {
 		httpError(w, http.StatusBadRequest, "unknown system %q", system)
 		return nil, "", 0, false
@@ -315,8 +472,15 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request, system, program
 		slog.String("system", system),
 		slog.String("program", program),
 		slog.String("class", class))
-	e, err := s.model(modelKey{system: system, program: program})
+	e, err := s.model(r.Context(), modelKey{system: system, program: program}, admitted)
 	if err != nil {
+		if errors.Is(err, errSaturated) {
+			s.reject(w, r.URL.Path)
+			return nil, "", 0, false
+		}
+		if interrupted(w, err) {
+			return nil, "", 0, false
+		}
 		httpError(w, http.StatusInternalServerError, "characterisation failed: %v", err)
 		return nil, "", 0, false
 	}
@@ -338,7 +502,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class)
+	// Predicts on a warm model are pure arithmetic and stay unthrottled;
+	// only a predict that must first run a characterisation campaign
+	// competes for an admission slot (claimed by the campaign leader
+	// inside model, so concurrent cold predicts for one key don't shed
+	// each other).
+	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class, false)
 	if !ok {
 		return
 	}
@@ -385,7 +554,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class)
+	// Sweeps always count against the campaign budget: even on a warm
+	// model a full-space evaluation is the heavy path. The slot covers
+	// the whole request, including a cold characterisation (resolve is
+	// told the request is already admitted).
+	release, ok := s.acquire()
+	if !ok {
+		s.reject(w, "/v1/sweep")
+		return
+	}
+	defer release()
+	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class, true)
 	if !ok {
 		return
 	}
@@ -413,8 +592,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	cfgs := pareto.Space(nodes, e.prof.CoresPerNode, e.prof.Frequencies)
 	annotate(r.Context(), slog.Int("configs", len(cfgs)), slog.Int("workers", workers))
 	t0 := time.Now()
-	points, err := pareto.EvaluateParallel(e.model, cfgs, S, workers)
+	points, err := pareto.EvaluateParallel(r.Context(), e.model, cfgs, S, workers)
 	if err != nil {
+		if interrupted(w, err) {
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
 		return
 	}
