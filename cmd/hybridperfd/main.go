@@ -12,6 +12,12 @@
 // (-request-timeout); a disconnected client or expired deadline cancels
 // its in-flight simulations cooperatively.
 //
+// Predict and sweep bodies accept an optional "engine" field selecting
+// the simulation engine ("goroutine" or "sequential" — bit-identical
+// results, the sequential engine is faster); -default-engine sets the
+// server-wide default and the engine_* /metrics families are labelled
+// per mode.
+//
 // Observability surface: GET /metrics (Prometheus text exposition of
 // request counters/latency histograms plus the simulation engine's own
 // counters), GET /healthz, GET /readyz, GET /debug/trace?duration=1s
@@ -40,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"hybridperf/internal/exec"
 	"hybridperf/internal/telemetry"
 )
 
@@ -54,8 +61,14 @@ func main() {
 		spanCap  = flag.Int("span-capacity", 0, "span flight-recorder capacity (0 = 4096)")
 		maxCamp  = flag.Int("max-campaigns", 0, "max concurrent characterisation/sweep campaigns; excess requests get 429 (0 = 4)")
 		reqTO    = flag.Duration("request-timeout", 0, "per-request deadline cancelling in-flight work, e.g. 30s (0 = none)")
+		defEng   = flag.String("default-engine", "", "simulation engine for requests without an \"engine\" field: goroutine or sequential (default $HYBRIDPERF_ENGINE, then goroutine)")
 	)
 	flag.Parse()
+
+	if err := exec.ValidateEngine(*defEng); err != nil {
+		fmt.Fprintf(os.Stderr, "hybridperfd: bad -default-engine: %v\n", err)
+		os.Exit(2)
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -82,6 +95,7 @@ func main() {
 		SpanCapacity:   *spanCap,
 		MaxCampaigns:   *maxCamp,
 		RequestTimeout: *reqTO,
+		DefaultEngine:  *defEng,
 	})
 
 	// Warm requested models before declaring readiness, so a load balancer
@@ -110,7 +124,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Info("serving", "addr", *addr, "workers", *workers, "seed", *seed)
+	logger.Info("serving", "addr", *addr, "workers", *workers, "seed", *seed, "engine", srv.DefaultEngine())
 
 	select {
 	case err := <-errc:

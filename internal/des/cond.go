@@ -10,8 +10,17 @@ type Cond struct {
 // Wait halts the calling process until the next Broadcast.
 // Callers should loop: for !pred() { cond.Wait(p) }.
 func (c *Cond) Wait(p *Proc) {
+	c.WaitArm(p)
+	p.park()
+}
+
+// WaitArm is the sequential form of Wait: it enqueues p as a waiter and
+// halts it without suspending. The calling Machine must yield (return
+// false) immediately after arming and re-check its predicate on re-entry,
+// since Broadcast wakes every waiter.
+func (c *Cond) WaitArm(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	p.Halt()
+	p.HaltArm()
 }
 
 // Broadcast wakes every waiting process at the current virtual time, in

@@ -1,10 +1,16 @@
 // Package des implements a deterministic discrete-event simulation kernel
-// with goroutine-backed logical processes.
+// with two interchangeable process engines.
 //
-// The kernel advances a virtual clock over a priority queue of events.
-// Simulated processes are ordinary Go functions running in their own
-// goroutines; they interact with virtual time exclusively through their
-// *Proc handle (Advance, Halt, resource and condition primitives). At any
+// The kernel advances a virtual clock over a priority queue of events. In
+// the reference goroutine engine (NewKernel), simulated processes are
+// ordinary Go functions running in their own goroutines; they interact with
+// virtual time exclusively through their *Proc handle (Advance, Halt,
+// resource and condition primitives). In the sequential engine
+// (NewSequentialKernel, see seq.go), process bodies are explicit
+// continuations (Machine values) dispatched by one scheduler loop on the
+// caller's goroutine — no channel handoff, no goroutine parking. Both
+// engines share the queues, the sequence-number discipline and the fast
+// paths below, so a run is bit-for-bit identical on either. At any
 // instant exactly one process executes, so process code needs no locking and
 // every run with the same inputs is bit-for-bit reproducible: ties in event
 // time are broken by a monotone sequence number.
@@ -74,6 +80,7 @@ type Kernel struct {
 
 	failure error // first process panic, if any
 	aborted bool
+	seqMode bool // sequential engine: Machine continuations, no goroutines
 
 	// ctx, when non-nil, cancels the run cooperatively: the dispatch loop
 	// polls ctx.Err() every ctxPollInterval steps and records a
@@ -105,10 +112,11 @@ func (k *Kernel) Err() error { return k.failure }
 // fast-path advances are not events; they bypass the queue entirely).
 func (k *Kernel) Events() uint64 { return k.dispatched }
 
-// Procs reports the number of process goroutines ever spawned, including
-// daemons and pooled task runners. With persistent worker pools this stays
-// near the process count of the simulated system instead of growing with
-// the event count.
+// Procs reports the number of logical processes ever spawned, including
+// daemons and pooled task runners — goroutines on the goroutine engine,
+// continuation records on the sequential engine (both engines create the
+// same set). With persistent worker pools this stays near the process
+// count of the simulated system instead of growing with the event count.
 func (k *Kernel) Procs() int { return len(k.procs) }
 
 // SetContext attaches a cancellation context to the kernel (nil, or a
@@ -231,6 +239,12 @@ type Proc struct {
 	// Pooled task runner state (see Kernel.Go).
 	task    func(*Proc, any)
 	taskCtx any
+
+	// Sequential-engine state (see seq.go). body is the process's
+	// continuation; pooled runners carry their current task in seqTask.
+	body    Machine
+	seqTask Machine
+	pooled  bool
 }
 
 // Name returns the label the process was spawned with.
@@ -260,6 +274,9 @@ func (k *Kernel) SpawnDaemon(name string, fn func(*Proc)) *Proc {
 }
 
 func (k *Kernel) spawn(name string, daemon bool, fn func(*Proc)) *Proc {
+	if k.seqMode {
+		panic("des: goroutine Spawn on a sequential kernel (use SpawnSeq)")
+	}
 	p := &Proc{k: k, name: name, daemon: daemon, resume: make(chan struct{})}
 	k.procs = append(k.procs, p)
 	if !daemon {
@@ -311,6 +328,9 @@ func (k *Kernel) handoff() {
 // The ctx value lets callers pass a reused task struct through a plain
 // function, avoiding a closure allocation per task.
 func (k *Kernel) Go(name string, fn func(*Proc, any), ctx any) {
+	if k.seqMode {
+		panic("des: goroutine Go on a sequential kernel (use GoSeq)")
+	}
 	k.busyGo++
 	if k.mx != nil {
 		if len(k.pool) > 0 {
@@ -364,6 +384,9 @@ func (k *Kernel) schedule(p *Proc, t float64) {
 // no goroutine switch at all.
 func (p *Proc) park() {
 	k := p.k
+	if k.seqMode {
+		panic(fmt.Sprintf("des: goroutine-style blocking by %q on a sequential kernel (Machines must use the Arm primitives and yield)", p.name))
+	}
 	next := k.dispatchNext()
 	if next == p {
 		if k.mx != nil {
@@ -396,6 +419,18 @@ func (p *Proc) park() {
 // event only; skipping the round-trip preserves the relative order of all
 // surviving events, so runs remain bit-for-bit identical.
 func (p *Proc) Advance(dt float64) {
+	if !p.AdvanceArm(dt) {
+		p.park()
+	}
+}
+
+// AdvanceArm is the non-suspending form of Advance shared by both engines:
+// it either consumes dt synchronously via the lookahead fast path (true —
+// the clock has already moved, keep executing) or schedules the process's
+// wake at now+dt and reports false. On a false return a goroutine process
+// parks (Advance does this); a sequential Machine must return false up to
+// the scheduler loop and re-enter at its next Step.
+func (p *Proc) AdvanceArm(dt float64) bool {
 	if dt < 0 || math.IsNaN(dt) {
 		dt = 0
 	}
@@ -405,24 +440,33 @@ func (p *Proc) Advance(dt float64) {
 		// The cancellation poll rides the fast path too: a single-process
 		// compute loop dispatches almost no events, so counting only
 		// dispatches would let it outrun a cancelled context. A cancelled
-		// run falls through to park, which unwinds via the abort path.
+		// run falls through to the scheduled path, which unwinds via the
+		// abort path.
 		if t <= k.horizon && (len(k.heap) == 0 || k.heap[0].t > t) && !k.pollCtx() {
 			k.now = t
 			if k.mx != nil {
 				k.mx.Lookaheads.Inc()
 			}
-			return
+			return true
 		}
 	}
 	k.schedule(p, k.now+dt)
-	p.park()
+	return false
 }
 
 // Halt blocks the process indefinitely until another process calls Wake.
 func (p *Proc) Halt() {
+	p.HaltArm()
+	p.park()
+}
+
+// HaltArm marks the process halted without suspending it: the sequential
+// form of Halt. The calling Machine must yield (return false) immediately
+// after arming; the process becomes runnable again when another process
+// calls Wake.
+func (p *Proc) HaltArm() {
 	p.halted = true
 	p.wakeSeq = 0
-	p.park()
 }
 
 // Wake makes a halted process runnable at the current virtual time.
@@ -547,6 +591,9 @@ func (k *Kernel) dispatchNext() *Proc {
 // only when nothing is runnable; in between, control passes from process to
 // process without returning here.
 func (k *Kernel) Run(until float64) error {
+	if k.seqMode {
+		return k.runSeq(until)
+	}
 	k.horizon = until
 	if k.ctx != nil && k.failure == nil {
 		if err := k.ctx.Err(); err != nil {
@@ -560,6 +607,13 @@ func (k *Kernel) Run(until float64) error {
 		next.resume <- struct{}{}
 		<-k.main
 	}
+	return k.finish()
+}
+
+// finish classifies the run's terminal state once dispatch has stopped:
+// recorded failure, horizon-limited (queue intact), completion, or
+// deadlock. Shared by both engines.
+func (k *Kernel) finish() error {
 	if k.failure != nil {
 		k.abort()
 		return k.failure
@@ -574,7 +628,7 @@ func (k *Kernel) Run(until float64) error {
 			if p.done || !p.halted {
 				continue
 			}
-			if !p.daemon || p.task != nil {
+			if !p.daemon || p.task != nil || p.seqTask != nil {
 				names = append(names, p.name)
 			}
 		}
@@ -593,12 +647,17 @@ func (k *Kernel) Run(until float64) error {
 func (k *Kernel) Shutdown() { k.abort() }
 
 // abort unblocks every live process with an abort signal so their
-// goroutines exit; the kernel becomes unusable afterwards.
+// goroutines exit; the kernel becomes unusable afterwards. On the
+// sequential engine there are no goroutines to reap: marking the kernel
+// aborted is all teardown requires.
 func (k *Kernel) abort() {
 	if k.aborted {
 		return
 	}
 	k.aborted = true
+	if k.seqMode {
+		return
+	}
 	for _, p := range k.procs {
 		if p.done {
 			continue

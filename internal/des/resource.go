@@ -34,8 +34,7 @@ func (r *Resource) Name() string { return r.name }
 func (r *Resource) Serve(p *Proc, service float64) (wait float64) {
 	wait = r.Acquire(p)
 	p.Advance(service)
-	r.totalService += service
-	r.Release()
+	r.ServeDone(service)
 	return wait
 }
 
@@ -43,17 +42,43 @@ func (r *Resource) Serve(p *Proc, service float64) (wait float64) {
 // reporting the queueing delay. The caller must eventually call Release.
 func (r *Resource) Acquire(p *Proc) (wait float64) {
 	enq := r.k.now
+	if !r.AcquireArm(p) {
+		p.park() // woken by Release when granted
+	}
+	return r.AcquireDone(enq)
+}
+
+// AcquireArm begins a sequential acquire: it either grants the idle server
+// immediately (true) or enqueues p and halts it (false) — the calling
+// Machine must then yield; Release wakes it holding the server. Either way
+// the caller completes the acquire with AcquireDone once it runs holding
+// the server.
+func (r *Resource) AcquireArm(p *Proc) bool {
 	if r.busy {
 		r.queue = append(r.queue, p)
-		p.Halt() // woken by Release when granted
-	} else {
-		r.busy = true
-		r.busySince = r.k.now
+		p.HaltArm()
+		return false
 	}
+	r.busy = true
+	r.busySince = r.k.now
+	return true
+}
+
+// AcquireDone records the queueing statistics of an acquire begun at
+// virtual time enq and returns the queueing delay.
+func (r *Resource) AcquireDone(enq float64) (wait float64) {
 	wait = r.k.now - enq
 	r.served++
 	r.totalWait += wait
 	return wait
+}
+
+// ServeDone accounts the service time of a completed hold and releases the
+// server — the tail of Serve, split out for sequential Machines that
+// advance through the service themselves.
+func (r *Resource) ServeDone(service float64) {
+	r.totalService += service
+	r.Release()
 }
 
 // Release frees the server and grants it to the next waiter, if any.

@@ -11,14 +11,21 @@ import (
 // characterisation class on the largest validation configuration) — the
 // unit of work every experiment artifact and sweep repeats thousands of
 // times. ns/op and allocs/op for this fixture are the headline numbers
-// recorded in BENCH_2.json.
-func BenchmarkRun(b *testing.B) {
+// recorded in BENCH_3.json, per engine.
+func BenchmarkRun(b *testing.B) { benchmarkRun(b, EngineGoroutine) }
+
+// BenchmarkRunSequential is BenchmarkRun on the goroutine-free sequential
+// engine: identical results, no channel handoff per event.
+func BenchmarkRunSequential(b *testing.B) { benchmarkRun(b, EngineSequential) }
+
+func benchmarkRun(b *testing.B, engine string) {
 	req := Request{
-		Prof:  machine.XeonE5(),
-		Spec:  workload.SP(),
-		Class: workload.ClassS,
-		Cfg:   machine.Config{Nodes: 8, Cores: 8, Freq: 1.8e9},
-		Seed:  1,
+		Prof:   machine.XeonE5(),
+		Spec:   workload.SP(),
+		Class:  workload.ClassS,
+		Cfg:    machine.Config{Nodes: 8, Cores: 8, Freq: 1.8e9},
+		Seed:   1,
+		Engine: engine,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -31,15 +38,22 @@ func BenchmarkRun(b *testing.B) {
 
 // BenchmarkSweep measures a small validation sweep (one point per node
 // count) through the concurrent sweep engine with 8 workers.
-func BenchmarkSweep(b *testing.B) {
+func BenchmarkSweep(b *testing.B) { benchmarkSweep(b, EngineGoroutine) }
+
+// BenchmarkSweepSequential runs the same sweep with each point simulated
+// on the sequential engine (the sweep workers stay concurrent).
+func BenchmarkSweepSequential(b *testing.B) { benchmarkSweep(b, EngineSequential) }
+
+func benchmarkSweep(b *testing.B, engine string) {
 	var reqs []Request
 	for _, nodes := range []int{1, 2, 4, 8} {
 		reqs = append(reqs, Request{
-			Prof:  machine.XeonE5(),
-			Spec:  workload.SP(),
-			Class: workload.ClassS,
-			Cfg:   machine.Config{Nodes: nodes, Cores: 8, Freq: 1.8e9},
-			Seed:  int64(nodes),
+			Prof:   machine.XeonE5(),
+			Spec:   workload.SP(),
+			Class:  workload.ClassS,
+			Cfg:    machine.Config{Nodes: nodes, Cores: 8, Freq: 1.8e9},
+			Seed:   int64(nodes),
+			Engine: engine,
 		})
 	}
 	b.ReportAllocs()

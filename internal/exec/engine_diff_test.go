@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hybridperf/internal/machine"
+	"hybridperf/internal/workload"
+)
+
+// TestEngineDifferential is the cross-engine property test: randomized
+// (profile, program, nodes, cores, frequency, seed) configurations must
+// produce byte-identical results on the goroutine and sequential engines —
+// times, energies, communication profile, per-node totals, traces and the
+// shared engine counters. The generator is seeded, so failures reproduce;
+// CI's race leg runs this too, putting the goroutine side under -race.
+func TestEngineDifferential(t *testing.T) {
+	profs := []*machine.Profile{machine.XeonE5(), machine.ARMCortexA9(), xeonCrossbar()}
+	specs := append(workload.Extended(), imbalancedSpec())
+	rnd := rand.New(rand.NewSource(20260808))
+	cases := 24
+	if testing.Short() {
+		cases = 6
+	}
+	for i := 0; i < cases; i++ {
+		prof := profs[rnd.Intn(len(profs))]
+		spec := specs[rnd.Intn(len(specs))]
+		n := 1 + rnd.Intn(4)
+		c := 1 + rnd.Intn(prof.CoresPerNode)
+		if c > 4 {
+			c = 4
+		}
+		f := prof.Frequencies[rnd.Intn(len(prof.Frequencies))]
+		req := Request{
+			Prof:  prof,
+			Spec:  spec,
+			Class: workload.ClassTest,
+			Cfg:   machine.Config{Nodes: n, Cores: c, Freq: f},
+			Seed:  rnd.Int63(),
+			Trace: true, Metrics: true,
+		}
+		name := fmt.Sprintf("%02d-%s-%s-%dx%d-%.1fGHz", i, prof.Name, spec.Name, n, c, f/1e9)
+		t.Run(name, func(t *testing.T) {
+			gor := req
+			gor.Engine = EngineGoroutine
+			resG, err := Run(gor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := req
+			seq.Engine = EngineSequential
+			resS, err := Run(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resS.Time != resG.Time {
+				t.Errorf("Time diverged: %x vs %x", resS.Time, resG.Time)
+			}
+			if resS.Energy != resG.Energy {
+				t.Errorf("Energy diverged: %+v vs %+v", resS.Energy, resG.Energy)
+			}
+			if resS.MeasuredEnergy != resG.MeasuredEnergy || resS.MeasuredUCR != resG.MeasuredUCR {
+				t.Errorf("measured energy diverged: (%x,%x) vs (%x,%x)",
+					resS.MeasuredEnergy, resS.MeasuredUCR, resG.MeasuredEnergy, resG.MeasuredUCR)
+			}
+			if resS.Comm != resG.Comm {
+				t.Errorf("communication profile diverged:\n got  %+v\n want %+v", resS.Comm, resG.Comm)
+			}
+			if resS.Totals != resG.Totals || resS.MemWait != resG.MemWait {
+				t.Errorf("counter totals diverged:\n got  %+v mem %x\n want %+v mem %x",
+					resS.Totals, resS.MemWait, resG.Totals, resG.MemWait)
+			}
+			if resS.Engine.Events != resG.Engine.Events || resS.Engine.Procs != resG.Engine.Procs {
+				t.Errorf("engine stats diverged: %+v vs %+v", resS.Engine, resG.Engine)
+			}
+			if len(resS.Trace) != len(resG.Trace) {
+				t.Fatalf("trace lengths diverged: %d vs %d", len(resS.Trace), len(resG.Trace))
+			}
+			for j := range resG.Trace {
+				if resS.Trace[j] != resG.Trace[j] {
+					t.Fatalf("trace event %d diverged:\n got  %+v\n want %+v",
+						j, resS.Trace[j], resG.Trace[j])
+				}
+			}
+			mg, ms := resG.Metrics.Engine, resS.Metrics.Engine
+			if ms.Events != mg.Events || ms.Lookaheads != mg.Lookaheads ||
+				ms.Regions != mg.Regions || ms.Messages != mg.Messages ||
+				ms.PoolHits != mg.PoolHits || ms.PoolSpawns != mg.PoolSpawns ||
+				ms.HeapHighWater != mg.HeapHighWater || ms.MsgBytes != mg.MsgBytes ||
+				ms.SelfDispatches != mg.SelfDispatches {
+				t.Errorf("engine counters diverged:\n got  %+v\n want %+v", ms, mg)
+			}
+		})
+	}
+}

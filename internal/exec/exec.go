@@ -35,6 +35,14 @@ type Request struct {
 	Cfg   machine.Config
 	Seed  int64
 
+	// Engine selects the DES process engine: EngineGoroutine (the
+	// reference: one goroutine per simulated process) or EngineSequential
+	// (continuation machines on one scheduler loop — no goroutines, no
+	// channel handoffs, typically >2x faster). Empty resolves via
+	// $HYBRIDPERF_ENGINE, then to the goroutine engine. Both engines
+	// produce bit-for-bit identical results.
+	Engine string
+
 	// Ctx, when non-nil, cancels the run cooperatively: the simulation
 	// kernel polls the context every few thousand dispatch steps, so a
 	// cancelled context stops the run mid-simulation with an error
@@ -81,7 +89,10 @@ type Request struct {
 
 	// runSpec, when non-nil, replaces req.Spec.Run as the per-rank entry
 	// point — a test seam for injecting per-rank failures, which the
-	// built-in specs cannot produce after upfront validation.
+	// built-in specs cannot produce after upfront validation. The seam is
+	// a goroutine-style body and cannot be compiled to a continuation, so
+	// requests carrying it always run on the goroutine engine (an explicit
+	// Engine: EngineSequential is rejected).
 	runSpec func(p *des.Proc, env *workload.Env) error
 }
 
@@ -114,12 +125,17 @@ type Result struct {
 }
 
 // EngineStats reports what the simulation engine spent producing a
-// measurement: dispatched events and process goroutines created. With the
-// persistent worker pools, Procs stays near nodes x cores instead of
-// growing with the event count.
+// measurement: the engine mode, dispatched events and logical processes
+// created. With the persistent worker pools, Procs stays near
+// nodes x cores instead of growing with the event count. Procs counts
+// goroutines only on the goroutine engine; on the sequential engine the
+// same set of processes exists as continuation records and no goroutines
+// are created — consumers must key any goroutine-specific interpretation
+// on Engine.
 type EngineStats struct {
+	Engine string // engine mode that produced the run ("goroutine" or "sequential")
 	Events uint64 // events dispatched by the kernel
-	Procs  int    // process goroutines spawned (ranks, workers, couriers)
+	Procs  int    // logical simulated processes (ranks, workers, couriers)
 }
 
 // rankNames caches process labels for the usual world sizes so sweeps
@@ -162,8 +178,24 @@ func Run(req Request) (*Result, error) {
 		}
 	}
 
+	engine, err := resolveEngine(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if req.runSpec != nil {
+		if req.Engine == EngineSequential {
+			return nil, fmt.Errorf("exec: the runSpec test seam requires the goroutine engine")
+		}
+		engine = EngineGoroutine
+	}
+
 	root := rng.New(req.Seed)
-	k := des.NewKernel()
+	var k *des.Kernel
+	if engine == EngineSequential {
+		k = des.NewSequentialKernel()
+	} else {
+		k = des.NewKernel()
+	}
 	k.SetContext(req.Ctx)
 	// Reap pooled worker/courier goroutines once results are read.
 	defer k.Shutdown()
@@ -216,6 +248,14 @@ func Run(req Request) (*Result, error) {
 		if req.Governor != nil {
 			env.Governor = req.Governor(i)
 		}
+		if engine == EngineSequential {
+			m, err := req.Spec.Machine(env)
+			if err != nil {
+				return nil, err
+			}
+			k.SpawnSeq(rankName(i), m)
+			continue
+		}
 		k.Spawn(rankName(i), func(p *des.Proc) {
 			if err := runSpec(p, env); err != nil {
 				rankErrs = append(rankErrs, fmt.Errorf("%s: %w", p.Name(), err))
@@ -237,7 +277,7 @@ func Run(req Request) (*Result, error) {
 		Comm:    world.Profile(),
 		MemWait: nodes[0].MemStats(),
 		Trace:   rec.Events(),
-		Engine:  EngineStats{Events: k.Events(), Procs: k.Procs()},
+		Engine:  EngineStats{Engine: engine, Events: k.Events(), Procs: k.Procs()},
 	}
 	if req.Trace {
 		res.MeasuredUCR = trace.UCR(res.Trace)
@@ -277,7 +317,13 @@ func Run(req Request) (*Result, error) {
 		}
 	}
 	if req.Observe != nil {
-		req.Observe(fmt.Sprintf("run %s %v", req.Spec.Name, req.Cfg), wall, time.Now())
+		label := fmt.Sprintf("run %s %v", req.Spec.Name, req.Cfg)
+		if engine != EngineGoroutine {
+			// Keep span labels honest about which engine produced the run;
+			// the default engine stays unannotated for label stability.
+			label += " engine=" + engine
+		}
+		req.Observe(label, wall, time.Now())
 	}
 	return res, nil
 }

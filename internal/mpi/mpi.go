@@ -125,16 +125,24 @@ func (r *Rank) isend(to int, bytes float64, tag Tag, seq int) {
 	r.node.NetRef(1)
 	m := r.w.newMessage()
 	m.src, m.dst, m.bytes, m.tag, m.seq = r, r.w.ranks[to], bytes, tag, seq
+	if r.w.k.Sequential() {
+		m.op.Set(r.id, to, bytes)
+		r.w.k.GoSeq("mpi.msg", m)
+		return
+	}
 	r.w.k.Go("mpi.msg", courier, m)
 }
 
 // message is the in-flight state of one eager send, drawn from the world's
-// free list so steady-state traffic allocates nothing.
+// free list so steady-state traffic allocates nothing. On the sequential
+// engine the record doubles as the courier Machine, carrying its transfer
+// continuation in op (see seq.go).
 type message struct {
 	src, dst *Rank
 	bytes    float64
 	tag      Tag
 	seq      int
+	op       simnet.TransferOp
 }
 
 // courier drives one message through the network on a pooled kernel

@@ -1,0 +1,193 @@
+package mpi
+
+import (
+	"hybridperf/internal/des"
+)
+
+// This file is the sequential-engine form of the runtime's blocking paths:
+// the courier becomes a Machine carried by the pooled message record, and
+// the blocking receives/collectives become resumable ops. Each mirrors its
+// goroutine counterpart statement for statement — same send order, same
+// sequence-number matching, same NIC/idle/wait accounting — so traffic is
+// bit-for-bit identical on either engine.
+
+// Step implements des.Machine: the sequential courier. The message drives
+// its own transfer through the network, then drops the sender's NIC
+// reference, recycles itself and delivers — exactly the goroutine courier.
+func (m *message) Step(mp *des.Proc) bool {
+	w := m.src.w
+	if !w.net.TransferStep(&m.op, mp) {
+		return false
+	}
+	m.src.node.NetRef(-1)
+	dst, tag, seq := m.dst, m.tag, m.seq
+	w.freeMessage(m)
+	dst.deliver(tag, seq)
+	return true
+}
+
+// waitOp is the shared continuation state of a blocking receive: the
+// NIC hold, core-idle transition and wait-time accounting around a
+// re-checked predicate (WaitCount's cumulative count or a collective
+// round's sequence number).
+type waitOp struct {
+	pc    int8
+	start float64
+	ws    float64
+}
+
+// WaitCountOp is WaitCount in continuation form: arm Tag and Target, then
+// drive with Rank.WaitCountStep. The op is single-use; re-arm by
+// assignment for the next wait.
+type WaitCountOp struct {
+	w      waitOp
+	Tag    Tag
+	Target int
+}
+
+// WaitCountStep drives an armed WaitCountOp: false means the wait blocked
+// (yield and re-enter), true means the target count has been received.
+func (r *Rank) WaitCountStep(op *WaitCountOp, p *des.Proc) bool {
+	switch op.w.pc {
+	case 0:
+		if r.received[op.Tag] >= op.Target {
+			return true
+		}
+		op.w.start = p.Now()
+		r.node.NetRef(1)
+		op.w.ws = r.node.NetWaitBegin(0)
+		op.w.pc = 1
+		fallthrough
+	case 1:
+		if r.received[op.Tag] < op.Target {
+			r.cond[op.Tag].WaitArm(p)
+			return false
+		}
+		r.node.NetWaitEnd(0, op.w.ws)
+		r.node.NetRef(-1)
+		r.waitTime += p.Now() - op.w.start
+		op.w.pc = 0
+		return true
+	}
+	panic("mpi: bad WaitCountOp state")
+}
+
+// waitSeqOp is waitSeq in continuation form: one collective round's
+// exact-match receive.
+type waitSeqOp struct {
+	w   waitOp
+	tag Tag
+	seq int
+}
+
+func (r *Rank) waitSeqStep(op *waitSeqOp, p *des.Proc) bool {
+	switch op.w.pc {
+	case 0:
+		if r.seqGot(op.tag, op.seq) {
+			return true
+		}
+		op.w.start = p.Now()
+		r.node.NetRef(1)
+		op.w.ws = r.node.NetWaitBegin(0)
+		op.w.pc = 1
+		fallthrough
+	case 1:
+		if !r.seqGot(op.tag, op.seq) {
+			r.cond[op.tag].WaitArm(p)
+			return false
+		}
+		r.node.NetWaitEnd(0, op.w.ws)
+		r.node.NetRef(-1)
+		r.waitTime += p.Now() - op.w.start
+		op.w.pc = 0
+		return true
+	}
+	panic("mpi: bad waitSeqOp state")
+}
+
+// AllreduceOp is Allreduce in continuation form: arm Bytes, then drive
+// with Rank.AllreduceStep. The op self-resets on completion, so one value
+// serves every iteration of a program loop. A Barrier is an AllreduceOp
+// with Bytes 8 (see Rank.Barrier).
+type AllreduceOp struct {
+	pc     int8
+	Bytes  float64
+	op     int
+	round  int
+	rounds int
+	wait   waitSeqOp
+}
+
+// AllreduceStep drives an armed AllreduceOp: false means a round's wait
+// blocked (yield and re-enter), true means the collective completed.
+func (r *Rank) AllreduceStep(aop *AllreduceOp, p *des.Proc) bool {
+	n := r.w.Size()
+	if aop.pc == 0 {
+		if n == 1 {
+			return true
+		}
+		aop.rounds = ReduceRounds(n)
+		aop.op = r.reduceOps
+		r.reduceOps++
+		aop.round = 0
+		aop.pc = 1
+	}
+	for aop.round < aop.rounds {
+		if aop.pc == 1 {
+			partner := (r.id + (1 << aop.round)) % n
+			seq := aop.op*aop.rounds + aop.round
+			r.isend(partner, aop.Bytes, TagReduce, seq)
+			aop.wait = waitSeqOp{tag: TagReduce, seq: seq}
+			aop.pc = 2
+		}
+		if !r.waitSeqStep(&aop.wait, p) {
+			return false
+		}
+		aop.round++
+		aop.pc = 1
+	}
+	aop.pc = 0
+	return true
+}
+
+// AlltoallOp is Alltoall in continuation form: arm Bytes (the per-peer
+// message volume), then drive with Rank.AlltoallStep. Self-resetting like
+// AllreduceOp.
+type AlltoallOp struct {
+	pc    int8
+	Bytes float64
+	base  int
+	step  int
+	wait  waitSeqOp
+}
+
+// AlltoallStep drives an armed AlltoallOp: all n-1 sends are posted
+// eagerly on first entry, then the step waits are drained in order.
+func (r *Rank) AlltoallStep(aop *AlltoallOp, p *des.Proc) bool {
+	n := r.w.Size()
+	if aop.pc == 0 {
+		if n == 1 {
+			return true
+		}
+		aop.base = r.a2aOps * (n - 1)
+		r.a2aOps++
+		for step := 1; step < n; step++ {
+			r.isend((r.id+step)%n, aop.Bytes, TagAll2All, aop.base+step-1)
+		}
+		aop.step = 1
+		aop.pc = 1
+	}
+	for aop.step < n {
+		if aop.pc == 1 {
+			aop.wait = waitSeqOp{tag: TagAll2All, seq: aop.base + aop.step - 1}
+			aop.pc = 2
+		}
+		if !r.waitSeqStep(&aop.wait, p) {
+			return false
+		}
+		aop.step++
+		aop.pc = 1
+	}
+	aop.pc = 0
+	return true
+}

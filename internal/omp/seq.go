@@ -1,0 +1,99 @@
+package omp
+
+import (
+	"strconv"
+
+	"hybridperf/internal/des"
+	"hybridperf/internal/node"
+)
+
+// This file is the sequential-engine form of the fork-join region:
+// Parallel decomposes into RegionBegin (fork) and RegionJoinArm (the
+// implicit barrier), with the persistent worker pool spawned as
+// continuation machines. Spawn order, worker names, completion counting
+// and the join broadcast mirror the goroutine forms exactly, so regions
+// are bit-for-bit identical on either engine.
+
+// SeqBody is the continuation form of a parallel-region body: Step runs
+// one thread's share of the region until it blocks (false) or completes
+// (true). A body must self-reset on completion — the same value is
+// re-entered at the next region.
+type SeqBody interface {
+	Step(th *Thread) bool
+}
+
+// RegionBegin opens a parallel region on the sequential engine: it counts
+// the region, resets the join accounting and makes every worker runnable
+// (spawning the persistent pool on the first region; mk builds the body
+// machine for worker tid). It returns the master's Thread context (tid 0);
+// the caller drives its own body to completion and then RegionJoinArm.
+func (t *Team) RegionBegin(p *des.Proc, mk func(tid int) SeqBody) *Thread {
+	if m := t.k.Metrics(); m != nil {
+		m.Regions.Inc()
+	}
+	t.done = 0
+	if t.workers == nil {
+		t.spawnWorkersSeq(p.Name(), t.Size(), mk)
+	} else {
+		for _, wp := range t.workers {
+			wp.Wake()
+		}
+	}
+	t.master = Thread{P: p, ID: 0, team: t}
+	return &t.master
+}
+
+// RegionJoinArm is the region's implicit barrier: true when every worker
+// already finished (proceed); false when the master was armed to wait for
+// stragglers — the calling Machine must yield and treat its next re-entry
+// as the join having completed.
+func (t *Team) RegionJoinArm(p *des.Proc) bool {
+	if t.done < t.Size()-1 {
+		t.join.WaitArm(p)
+		return false
+	}
+	return true
+}
+
+// seqWorker drives one persistent worker thread as a continuation,
+// mirroring the goroutine worker loop: run the region body, count
+// completion (the last worker releases the master), park until the next
+// region wakes it.
+type seqWorker struct {
+	t    *Team
+	th   Thread
+	body SeqBody
+}
+
+// Step implements des.Machine. It always returns false: a worker is a
+// daemon that parks between regions and never completes.
+func (w *seqWorker) Step(p *des.Proc) bool {
+	w.th.P = p
+	if !w.body.Step(&w.th) {
+		return false
+	}
+	w.t.done++
+	if w.t.done == w.t.Size()-1 {
+		w.t.join.Broadcast() // last worker releases the master
+	}
+	p.HaltArm()
+	return false
+}
+
+func (t *Team) spawnWorkersSeq(master string, n int, mk func(tid int) SeqBody) {
+	for tid := 1; tid < n; tid++ {
+		name := master + ".t" + strconv.Itoa(tid)
+		w := &seqWorker{t: t, th: Thread{ID: tid, team: t}, body: mk(tid)}
+		t.workers = append(t.workers, t.k.SpawnDaemonSeq(name, w))
+	}
+}
+
+// ComputeStep drives a resumable compute burst on this thread's core.
+func (th *Thread) ComputeStep(op *node.ComputeOp) bool {
+	return th.team.node.ComputeStep(op, th.P, th.ID)
+}
+
+// MemStep drives a resumable memory access on this thread's core.
+func (th *Thread) MemStep(op *node.MemOp) bool {
+	return th.team.node.MemStep(op, th.P, th.ID)
+}

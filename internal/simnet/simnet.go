@@ -27,6 +27,11 @@ type Network interface {
 	// process p, blocking p for queueing plus service; it returns the
 	// queueing delay and the service time.
 	Transfer(p *des.Proc, src, dst int, bytes float64) (wait, service float64)
+	// TransferStep is Transfer in continuation form for the sequential
+	// engine: op must have been armed with TransferOp.Set. False means the
+	// transfer blocked (the calling Machine must yield and re-enter), true
+	// means it completed with the op re-armed for the next Set.
+	TransferStep(op *TransferOp, p *des.Proc) bool
 	// ServiceTime exposes the uncontended service time for a message size.
 	ServiceTime(bytes float64) float64
 	// Stats aggregates the network's queueing statistics.

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hybridperf/internal/exec"
+)
+
+// TestPredictEngineField: a per-request engine selects the simulation
+// engine for the cold characterisation and is attributed on the request
+// counter; an unknown engine is a structured 400 naming the valid names.
+func TestPredictEngineField(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, raw := postJSON(t, ts.URL+"/v1/predict",
+		`{"system":"xeon","program":"SP","class":"S","nodes":2,"cores":2,"freq_ghz":1.8,"engine":"sequential"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sequential predict status %d: %s", resp.StatusCode, raw)
+	}
+	if snap := s.EngineFor(exec.EngineSequential).Snapshot(); snap.Events == 0 {
+		t.Error("sequential engine counters untouched after a sequential-engine characterisation")
+	}
+	if snap := s.EngineFor(exec.EngineSequential).Snapshot(); snap.Handoffs != 0 {
+		t.Errorf("sequential engine reported %d goroutine handoffs", snap.Handoffs)
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/v1/predict",
+		`{"system":"xeon","program":"SP","class":"S","nodes":2,"cores":2,"freq_ghz":1.8,"engine":"warp-drive"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	msg, status := errorEnvelope(t, resp, raw)
+	if status != http.StatusBadRequest || !strings.Contains(msg, "warp-drive") ||
+		!strings.Contains(msg, exec.EngineSequential) {
+		t.Errorf("error envelope (%d, %q) does not name the bad and valid engines", status, msg)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, samples := parseExposition(t, string(text))
+	if got := samples[`hybridperf_requests_by_engine_total{route="/v1/predict",engine="sequential"}`]; got != "1" {
+		t.Errorf("sequential request counter = %q, want 1 (the rejected request must not count)", got)
+	}
+	if got := samples[`hybridperf_engine_events_total{engine="sequential"}`]; got == "" || got == "0" {
+		t.Errorf("labelled sequential engine events = %q, want non-zero", got)
+	}
+}
+
+// TestSweepEngineField mirrors the predict contract on /v1/sweep.
+func TestSweepEngineField(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, raw := postJSON(t, ts.URL+"/v1/sweep",
+		`{"system":"arm","program":"CP","class":"S","pow2":true,"engine":"sequential"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sequential sweep status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/sweep",
+		`{"system":"arm","program":"CP","class":"S","engine":"threads"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	if msg, _ := errorEnvelope(t, resp, raw); !strings.Contains(msg, "threads") {
+		t.Errorf("error %q does not name the offending engine", msg)
+	}
+}
+
+// TestConfigDefaultEngine: a server configured with a sequential default
+// runs engine-less requests on it and reports it on /v1/systems.
+func TestConfigDefaultEngine(t *testing.T) {
+	s := NewServer(Config{
+		Workers:       2,
+		Seed:          42,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		DefaultEngine: exec.EngineSequential,
+	})
+	s.SetReady(true)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if s.DefaultEngine() != exec.EngineSequential {
+		t.Fatalf("DefaultEngine() = %q, want %q", s.DefaultEngine(), exec.EngineSequential)
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict",
+		`{"system":"xeon","program":"LU","class":"S","nodes":1,"cores":2,"freq_ghz":1.8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, raw)
+	}
+	if snap := s.Engine().Snapshot(); snap.Events == 0 || snap.Handoffs != 0 {
+		t.Errorf("default-engine counters = %+v, want sequential activity (events > 0, no handoffs)", snap)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	body, err := io.ReadAll(sresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"default_engine":"sequential"`,
+		fmt.Sprintf(`"engines":["%s","%s"]`, exec.EngineGoroutine, exec.EngineSequential),
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/v1/systems response missing %s: %s", want, body)
+		}
+	}
+}
+
+// TestNewServerRejectsUnknownDefaultEngine: a malformed Config.DefaultEngine
+// is a programming error and must fail construction loudly.
+func TestNewServerRejectsUnknownDefaultEngine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServer accepted an unknown DefaultEngine")
+		}
+	}()
+	NewServer(Config{DefaultEngine: "warp-drive",
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+}

@@ -17,6 +17,7 @@ import (
 
 	"hybridperf/internal/characterize"
 	"hybridperf/internal/core"
+	"hybridperf/internal/exec"
 	"hybridperf/internal/machine"
 	"hybridperf/internal/metrics"
 	"hybridperf/internal/pareto"
@@ -52,6 +53,12 @@ type Config struct {
 	// Retry-After. /debug/trace is exempt (it legitimately blocks for
 	// its recording window). Zero disables the per-request deadline.
 	RequestTimeout time.Duration
+	// DefaultEngine is the simulation engine used by requests that omit
+	// the "engine" field (see exec.Engines). Empty resolves through
+	// exec.DefaultEngine ($HYBRIDPERF_ENGINE, then the goroutine
+	// engine); an unknown name panics in NewServer — validate
+	// user-supplied values with exec.ValidateEngine first.
+	DefaultEngine string
 }
 
 // Server is the hybridperfd prediction service: models characterised
@@ -59,14 +66,15 @@ type Config struct {
 // wrapped in the telemetry stack (exposition, request logging, spans,
 // pprof). Create with NewServer, mount with Handler.
 type Server struct {
-	cfg    Config
-	log    *slog.Logger
-	reg    *Registry
-	engine *metrics.Engine // shared engine counters across every simulation
-	spans  *Spans
-	start  time.Time
-	ready  atomic.Bool
-	seq    atomic.Uint64
+	cfg       Config
+	log       *slog.Logger
+	reg       *Registry
+	defEngine string                     // resolved engine for requests that omit one
+	engines   map[string]*metrics.Engine // shared engine counters per engine mode
+	spans     *Spans
+	start     time.Time
+	ready     atomic.Bool
+	seq       atomic.Uint64
 
 	mu     sync.Mutex
 	models map[modelKey]*modelEntry
@@ -83,6 +91,7 @@ type Server struct {
 	mChar      *CounterVec
 	mRejected  *CounterVec
 	mCancelled *CounterVec
+	mByEngine  *CounterVec
 
 	// charTestHook, when non-nil (tests only), runs inside the
 	// characterisation critical section before the campaign, with the
@@ -119,15 +128,27 @@ func NewServer(cfg Config) *Server {
 	if log == nil {
 		log = slog.Default()
 	}
+	defEngine := cfg.DefaultEngine
+	if defEngine == "" {
+		defEngine = exec.DefaultEngine()
+	}
+	if err := exec.ValidateEngine(defEngine); err != nil {
+		panic(fmt.Sprintf("telemetry: Config.DefaultEngine: %v", err))
+	}
+	engines := make(map[string]*metrics.Engine, 2)
+	for _, e := range exec.Engines() {
+		engines[e] = metrics.NewEngine()
+	}
 	s := &Server{
-		cfg:    cfg,
-		log:    log,
-		reg:    NewRegistry(),
-		engine: metrics.NewEngine(),
-		spans:  NewSpans(cfg.SpanCapacity),
-		start:  time.Now(),
-		models: map[modelKey]*modelEntry{},
-		sem:    make(chan struct{}, cfg.MaxCampaigns),
+		cfg:       cfg,
+		log:       log,
+		reg:       NewRegistry(),
+		defEngine: defEngine,
+		engines:   engines,
+		spans:     NewSpans(cfg.SpanCapacity),
+		start:     time.Now(),
+		models:    map[modelKey]*modelEntry{},
+		sem:       make(chan struct{}, cfg.MaxCampaigns),
 	}
 	s.mReq = s.reg.Counter("hybridperf_http_requests_total",
 		"HTTP requests served, by route, method and status code.", "route", "method", "code")
@@ -145,6 +166,8 @@ func NewServer(cfg Config) *Server {
 		"Requests shed by admission control, by route and reason.", "route", "reason")
 	s.mCancelled = s.reg.Counter("hybridperf_http_requests_cancelled_total",
 		"Requests whose context ended before completion, by route and reason (disconnect or timeout).", "route", "reason")
+	s.mByEngine = s.reg.Counter("hybridperf_requests_by_engine_total",
+		"Model-serving requests by route and resolved simulation engine.", "route", "engine")
 	// In-flight starts existing so the gauge appears on the first scrape.
 	s.mInflight.With().Set(0)
 	s.mModels.With().Set(0)
@@ -166,7 +189,11 @@ func NewServer(cfg Config) *Server {
 		fmt.Fprintf(w, "# HELP hybridperf_uptime_seconds Seconds since the daemon started.\n"+
 			"# TYPE hybridperf_uptime_seconds gauge\nhybridperf_uptime_seconds %s\n",
 			formatFloat(time.Since(s.start).Seconds()))
-		WriteEngineText(w, s.engine.Snapshot())
+		series := make([]EngineSeries, 0, len(engines))
+		for _, e := range exec.Engines() {
+			series = append(series, EngineSeries{Engine: e, Snap: engines[e].Snapshot()})
+		}
+		WriteEngineText(w, series...)
 	})
 	return s
 }
@@ -176,7 +203,7 @@ func NewServer(cfg Config) *Server {
 // Warm bypasses admission control: it runs before the server takes
 // traffic.
 func (s *Server) Warm(system, program string) error {
-	_, err := s.model(context.Background(), modelKey{system: system, program: program}, true)
+	_, err := s.model(context.Background(), modelKey{system: system, program: program}, s.defEngine, true)
 	return err
 }
 
@@ -186,8 +213,16 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 // Registry exposes the server's metric registry (tests, extra collectors).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Engine exposes the shared engine counter set every simulation feeds.
-func (s *Server) Engine() *metrics.Engine { return s.engine }
+// Engine exposes the shared engine counter set fed by simulations on the
+// server's default engine mode (see EngineFor for a specific mode).
+func (s *Server) Engine() *metrics.Engine { return s.engines[s.defEngine] }
+
+// EngineFor exposes the shared counter set for one engine mode, or nil
+// for an unknown mode.
+func (s *Server) EngineFor(mode string) *metrics.Engine { return s.engines[mode] }
+
+// DefaultEngine reports the engine mode used by requests that omit one.
+func (s *Server) DefaultEngine() string { return s.defEngine }
 
 // Spans exposes the span flight recorder.
 func (s *Server) Spans() *Spans { return s.spans }
@@ -241,10 +276,16 @@ var errSaturated = errors.New("admission slots saturated")
 
 // model returns the cached model for (system, program), characterising it
 // on first use with the server's collectors attached: every simulation
-// feeds the shared engine counters and the span recorder, and the
+// feeds the engine-mode's shared counters and the span recorder, and the
 // campaign logs one line with its engine-event delta. ctx cancels an
 // in-flight characterisation mid-simulation (client disconnect, request
 // timeout).
+//
+// engine selects the simulation engine a cold characterisation runs on.
+// Both engines are bit-for-bit identical, so the cache stays keyed by
+// (system, program) alone — the engine changes which counters accrue,
+// never the model. Concurrent cold requests for one key collapse into a
+// single campaign on the leader's engine.
 //
 // Admission: unless the caller is already admitted (Warm runs before
 // traffic; sweep handlers hold a slot for the whole request), the
@@ -262,7 +303,7 @@ var errSaturated = errors.New("admission slots saturated")
 // poisoned for the process lifetime. Concurrent waiters on a failing
 // campaign all observe its error; the first request after eviction
 // retries fresh.
-func (s *Server) model(ctx context.Context, key modelKey, admitted bool) (*modelEntry, error) {
+func (s *Server) model(ctx context.Context, key modelKey, engine string, admitted bool) (*modelEntry, error) {
 	prof, err := machine.ByName(key.system)
 	if err != nil {
 		return nil, err
@@ -309,13 +350,15 @@ func (s *Server) model(ctx context.Context, key modelKey, admitted bool) (*model
 				return
 			}
 		}
+		eng := s.engines[engine]
 		start := time.Now()
-		pre := s.engine.Snapshot()
+		pre := eng.Snapshot()
 		sum, err := characterize.Run(prof, spec, characterize.Options{
 			Seed:          s.cfg.Seed,
 			Workers:       s.cfg.Workers,
+			Engine:        engine,
 			Ctx:           ctx,
-			SharedMetrics: s.engine,
+			SharedMetrics: eng,
 			Observe:       s.spans.Observer("exec"),
 		})
 		if err != nil {
@@ -330,12 +373,13 @@ func (s *Server) model(ctx context.Context, key modelKey, admitted bool) (*model
 		end := time.Now()
 		s.spans.Observe("model", fmt.Sprintf("characterize %s/%s", key.system, key.program),
 			start, end, nil)
-		delta := s.engine.Snapshot().Sub(pre)
+		delta := eng.Snapshot().Sub(pre)
 		s.mChar.With(key.system, key.program).Inc()
 		s.mModels.With().Inc()
 		s.log.LogAttrs(context.Background(), slog.LevelInfo, "characterized",
 			slog.String("system", key.system),
 			slog.String("program", key.program),
+			slog.String("engine", engine),
 			slog.Duration("duration", end.Sub(start)),
 			slog.Uint64("engine_events", delta.Events),
 			slog.Uint64("mpi_messages", delta.Messages))
@@ -450,7 +494,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 // (400); a shed campaign is 429 + Retry-After; a cancelled, timed-out or
 // aborted campaign is retryable (503 + Retry-After); a failed
 // characterisation of valid coordinates is ours (500).
-func (s *Server) resolve(w http.ResponseWriter, r *http.Request, system, program, class string, admitted bool) (*modelEntry, workload.Class, int, bool) {
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, system, program, class, engine string, admitted bool) (*modelEntry, workload.Class, int, bool) {
 	if _, err := machine.ByName(system); err != nil {
 		httpError(w, http.StatusBadRequest, "unknown system %q", system)
 		return nil, "", 0, false
@@ -471,8 +515,9 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request, system, program
 	annotate(r.Context(),
 		slog.String("system", system),
 		slog.String("program", program),
-		slog.String("class", class))
-	e, err := s.model(r.Context(), modelKey{system: system, program: program}, admitted)
+		slog.String("class", class),
+		slog.String("engine", engine))
+	e, err := s.model(r.Context(), modelKey{system: system, program: program}, engine, admitted)
 	if err != nil {
 		if errors.Is(err, errSaturated) {
 			s.reject(w, r.URL.Path)
@@ -487,6 +532,19 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request, system, program
 	return e, workload.Class(class), S, true
 }
 
+// engineMode resolves a request's optional engine field: empty takes the
+// server default, unknown names are the caller's fault (400, structured).
+func (s *Server) engineMode(w http.ResponseWriter, engine string) (string, bool) {
+	if engine == "" {
+		return s.defEngine, true
+	}
+	if err := exec.ValidateEngine(engine); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return "", false
+	}
+	return engine, true
+}
+
 // predictRequest is the /v1/predict body.
 type predictRequest struct {
 	System  string  `json:"system"`
@@ -495,6 +553,7 @@ type predictRequest struct {
 	Nodes   int     `json:"nodes"`
 	Cores   int     `json:"cores"`
 	FreqGHz float64 `json:"freq_ghz"`
+	Engine  string  `json:"engine"` // "" = server default
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -502,12 +561,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	engine, ok := s.engineMode(w, req.Engine)
+	if !ok {
+		return
+	}
+	s.mByEngine.With("/v1/predict", engine).Inc()
 	// Predicts on a warm model are pure arithmetic and stay unthrottled;
 	// only a predict that must first run a characterisation campaign
 	// competes for an admission slot (claimed by the campaign leader
 	// inside model, so concurrent cold predicts for one key don't shed
 	// each other).
-	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class, false)
+	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class, engine, false)
 	if !ok {
 		return
 	}
@@ -547,6 +611,7 @@ type sweepRequest struct {
 	Workers   int     `json:"workers"` // 0 = server default
 	DeadlineS float64 `json:"deadline_s"`
 	BudgetJ   float64 `json:"budget_j"`
+	Engine    string  `json:"engine"` // "" = server default
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -554,6 +619,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	engine, ok := s.engineMode(w, req.Engine)
+	if !ok {
+		return
+	}
+	s.mByEngine.With("/v1/sweep", engine).Inc()
 	// Sweeps always count against the campaign budget: even on a warm
 	// model a full-space evaluation is the heavy path. The slot covers
 	// the whole request, including a cold characterisation (resolve is
@@ -564,7 +634,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class, true)
+	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class, engine, true)
 	if !ok {
 		return
 	}
@@ -670,10 +740,12 @@ func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
-		Systems  []systemJSON `json:"systems"`
-		Programs []string     `json:"programs"`
-		Classes  []string     `json:"classes"`
-	}{systems, programs, classNames()})
+		Systems       []systemJSON `json:"systems"`
+		Programs      []string     `json:"programs"`
+		Classes       []string     `json:"classes"`
+		Engines       []string     `json:"engines"`
+		DefaultEngine string       `json:"default_engine"`
+	}{systems, programs, classNames(), exec.Engines(), s.defEngine})
 }
 
 func classNames() []string {

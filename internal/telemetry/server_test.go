@@ -14,6 +14,7 @@ import (
 
 	"hybridperf/internal/characterize"
 	"hybridperf/internal/core"
+	"hybridperf/internal/exec"
 	"hybridperf/internal/machine"
 	"hybridperf/internal/workload"
 )
@@ -256,7 +257,7 @@ func TestSystemsEndpoint(t *testing.T) {
 // traffic, /metrics must parse and carry the full documented series set
 // with the right types.
 func TestMetricsExposition(t *testing.T) {
-	_, ts := newTestServer(t)
+	s, ts := newTestServer(t)
 	resp, raw := postJSON(t, ts.URL+"/v1/predict",
 		`{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}`)
 	if resp.StatusCode != http.StatusOK {
@@ -304,10 +305,21 @@ func TestMetricsExposition(t *testing.T) {
 	if got := samples["hybridperf_models_cached"]; got != "1" {
 		t.Errorf("models cached = %q, want 1", got)
 	}
-	// The characterisation ran through the shared engine, so engine
-	// counters must be live on the very first scrape.
-	if got := samples["hybridperf_engine_events_total"]; got == "" || got == "0" {
-		t.Errorf("engine events = %q, want non-zero after characterisation", got)
+	// The characterisation ran through the default mode's shared engine,
+	// so its labelled counters must be live on the very first scrape
+	// (and the other mode's series present but untouched).
+	def := fmt.Sprintf(`hybridperf_engine_events_total{engine="%s"}`, s.DefaultEngine())
+	if got := samples[def]; got == "" || got == "0" {
+		t.Errorf("engine events %s = %q, want non-zero after characterisation", def, got)
+	}
+	for _, mode := range exec.Engines() {
+		key := fmt.Sprintf(`hybridperf_engine_events_total{engine="%s"}`, mode)
+		if _, ok := samples[key]; !ok {
+			t.Errorf("no %s sample on scrape", key)
+		}
+	}
+	if got := samples[`hybridperf_requests_by_engine_total{route="/v1/predict",engine="`+s.DefaultEngine()+`"}`]; got != "1" {
+		t.Errorf("requests by engine = %q, want 1", got)
 	}
 	for key := range samples {
 		if _, ok := types[familyOf(key)]; !ok {

@@ -224,9 +224,17 @@ func UCR(events []Event) float64 {
 	if len(sum) == 0 {
 		return 0
 	}
+	// Sum in rank order: float addition does not commute at the ULP level,
+	// so ranging over the map directly would let two identical traces
+	// yield different ratios depending on iteration order.
+	ranks := make([]int, 0, len(sum))
+	for r := range sum {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
 	var compute float64
-	for _, kinds := range sum {
-		compute += kinds[Compute]
+	for _, r := range ranks {
+		compute += sum[r][Compute]
 	}
 	return compute / (span * float64(len(sum)))
 }
