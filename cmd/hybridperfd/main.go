@@ -1,14 +1,22 @@
 // Command hybridperfd serves the analytical model as a long-running,
 // observable HTTP service: POST /v1/predict for one (system, program,
-// class, n, c, f) point, POST /v1/sweep for a configuration-space sweep
-// returning the time-energy Pareto frontier, GET /v1/systems for the
-// available profiles. Models are characterised lazily per (system,
-// program) pair — with a fixed seed, so two daemons serve bit-identical
-// predictions — and cached for the process lifetime.
+// class, n, c, f) point, POST /v1/batch for many tuples vectorised
+// through the sweep engine (one model resolution per (system, program)
+// group), POST /v1/sweep for a configuration-space sweep returning the
+// time-energy Pareto frontier, GET /v1/systems for the available
+// profiles (ETag/If-None-Match revalidation). Models are characterised
+// lazily per (system, program) pair — with a fixed seed, so two daemons
+// serve bit-identical predictions — and cached for the process lifetime.
 //
-// Heavy work (characterisation campaigns, sweep evaluations) passes a
-// bounded admission gate (-max-campaigns): saturated requests are shed
-// with 429 + Retry-After. Each request can carry a deadline
+// Sweep and batch answers pass an LRU response cache keyed on the
+// canonicalised request (-response-cache-size / -response-cache-ttl);
+// identical concurrent requests collapse onto a single computation.
+// Both endpoints stream NDJSON instead of one JSON document when the
+// client asks (Accept: application/x-ndjson or ?stream=1).
+//
+// Heavy work (characterisation campaigns, sweep/batch evaluations)
+// passes a bounded admission gate (-max-campaigns): saturated requests
+// are shed with 429 + Retry-After. Each request can carry a deadline
 // (-request-timeout); a disconnected client or expired deadline cancels
 // its in-flight simulations cooperatively.
 //
@@ -62,6 +70,8 @@ func main() {
 		maxCamp  = flag.Int("max-campaigns", 0, "max concurrent characterisation/sweep campaigns; excess requests get 429 (0 = 4)")
 		reqTO    = flag.Duration("request-timeout", 0, "per-request deadline cancelling in-flight work, e.g. 30s (0 = none)")
 		defEng   = flag.String("default-engine", "", "simulation engine for requests without an \"engine\" field: goroutine or sequential (default $HYBRIDPERF_ENGINE, then goroutine)")
+		cacheSz  = flag.Int("response-cache-size", 512, "sweep/batch response cache entries; identical in-flight requests collapse onto one computation (0 = disabled)")
+		cacheTTL = flag.Duration("response-cache-ttl", 5*time.Minute, "response cache entry lifetime (0 = entries never expire)")
 	)
 	flag.Parse()
 
@@ -89,13 +99,15 @@ func main() {
 	logger := slog.New(handler)
 
 	srv := telemetry.NewServer(telemetry.Config{
-		Workers:        *workers,
-		Seed:           *seed,
-		Logger:         logger,
-		SpanCapacity:   *spanCap,
-		MaxCampaigns:   *maxCamp,
-		RequestTimeout: *reqTO,
-		DefaultEngine:  *defEng,
+		Workers:          *workers,
+		Seed:             *seed,
+		Logger:           logger,
+		SpanCapacity:     *spanCap,
+		MaxCampaigns:     *maxCamp,
+		RequestTimeout:   *reqTO,
+		DefaultEngine:    *defEng,
+		ResponseCache:    *cacheSz,
+		ResponseCacheTTL: *cacheTTL,
 	})
 
 	// Warm requested models before declaring readiness, so a load balancer

@@ -5,15 +5,28 @@
 // previous one returns); -qps switches to open-loop pacing at a target
 // aggregate rate.
 //
+// -mode selects the request shape:
+//
+//   - single (default): POST -body to -route, one prediction per request.
+//   - batch: enumerate the (nodes, cores, freq) grid of -system from
+//     GET /v1/systems (once per -program entry), POST the first -tuples
+//     coordinates to /v1/batch, and report per-prediction throughput
+//     alongside request latency.
+//   - stream: the batch body with ?stream=1 — each response is read as
+//     NDJSON to completion and must end with a summary line.
+//
 // Usage:
 //
 //	loadgen -url http://127.0.0.1:8080 -duration 5s -concurrency 4
 //	loadgen -route /v1/sweep -body '{"system":"xeon","program":"SP","pow2":true}' -qps 50
+//	loadgen -mode batch -tuples 256 -duration 5s
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -31,8 +45,13 @@ func main() {
 	log.SetPrefix("loadgen: ")
 	var (
 		baseURL     = flag.String("url", "http://127.0.0.1:8080", "server base URL")
-		route       = flag.String("route", "/v1/predict", "route to hit")
-		body        = flag.String("body", `{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}`, "JSON request body (POST); empty = GET")
+		route       = flag.String("route", "/v1/predict", "route to hit (mode single)")
+		body        = flag.String("body", `{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}`, "JSON request body (POST); empty = GET (mode single)")
+		mode        = flag.String("mode", "single", "request shape: single, batch or stream")
+		system      = flag.String("system", "xeon", "system whose configuration grid feeds batch/stream bodies")
+		program     = flag.String("program", "SP", "program(s) named in batch/stream tuples, comma-separated (each adds one full grid)")
+		class       = flag.String("class", "A", "workload class for batch/stream tuples")
+		tuples      = flag.Int("tuples", 256, "tuples per batch/stream request (capped at the combined grid size of -program)")
 		duration    = flag.Duration("duration", 5*time.Second, "how long to generate load")
 		concurrency = flag.Int("concurrency", 4, "concurrent workers")
 		qps         = flag.Float64("qps", 0, "target aggregate request rate (0 = closed loop)")
@@ -44,23 +63,62 @@ func main() {
 		log.Fatal("concurrency must be >= 1")
 	}
 
-	url := *baseURL + *route
 	client := &http.Client{Timeout: *timeout}
+
+	// Resolve the request shape up front: every mode reduces to one URL,
+	// one (reused) body, a predictions-per-request factor and a response
+	// reader that validates the payload shape.
+	var (
+		url         string
+		reqBody     []byte
+		predsPerReq = 1
+		readBody    = func(r io.Reader) error { _, err := io.Copy(io.Discard, r); return err }
+	)
+	switch *mode {
+	case "single":
+		url = *baseURL + *route
+		reqBody = []byte(*body)
+	case "batch", "stream":
+		programs := strings.Split(*program, ",")
+		ts, err := enumerateTuples(client, *baseURL, *system, programs, *tuples)
+		if err != nil {
+			log.Fatalf("enumerating tuples from /v1/systems: %v", err)
+		}
+		b, err := json.Marshal(map[string]any{"class": *class, "tuples": ts})
+		if err != nil {
+			log.Fatalf("marshalling batch body: %v", err)
+		}
+		reqBody = b
+		predsPerReq = len(ts)
+		url = *baseURL + "/v1/batch"
+		if *mode == "stream" {
+			url += "?stream=1"
+			readBody = readNDJSON
+		}
+		log.Printf("mode %s: %d tuples/request against %s/%s class %s", *mode, len(ts), *system, *program, *class)
+	default:
+		log.Fatalf("bad -mode %q (want single, batch or stream)", *mode)
+	}
+
 	do := func() (int, error) {
 		var (
 			resp *http.Response
 			err  error
 		)
-		if *body == "" {
+		if len(reqBody) == 0 {
 			resp, err = client.Get(url)
 		} else {
-			resp, err = client.Post(url, "application/json", bytes.NewReader([]byte(*body)))
+			resp, err = client.Post(url, "application/json", bytes.NewReader(reqBody))
 		}
 		if err != nil {
 			return 0, err
 		}
 		defer resp.Body.Close()
-		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		if resp.StatusCode >= 400 {
+			io.Copy(io.Discard, resp.Body)
+			return resp.StatusCode, nil
+		}
+		if err := readBody(resp.Body); err != nil {
 			return resp.StatusCode, err
 		}
 		return resp.StatusCode, nil
@@ -165,8 +223,8 @@ func main() {
 		return lat[i]
 	}
 
-	fmt.Printf("target       %s %s\n", *baseURL, *route)
-	fmt.Printf("duration     %.2fs  concurrency %d", elapsed.Seconds(), *concurrency)
+	fmt.Printf("target       %s\n", url)
+	fmt.Printf("duration     %.2fs  concurrency %d  mode %s", elapsed.Seconds(), *concurrency, *mode)
 	if *qps > 0 {
 		fmt.Printf("  target qps %.0f", *qps)
 	}
@@ -174,6 +232,11 @@ func main() {
 	total := ok + fail + rejected + cancelled
 	fmt.Printf("requests     %d ok, %d failed, %d rejected, %d timed out (%.1f req/s)\n",
 		ok, fail, rejected, cancelled, float64(total)/elapsed.Seconds())
+	if predsPerReq > 1 {
+		preds := float64(ok * predsPerReq)
+		fmt.Printf("predictions  %.0f served (%.0f preds/s, p50 %v per prediction)\n",
+			preds, preds/elapsed.Seconds(), (pct(0.50) / time.Duration(predsPerReq)).Round(time.Nanosecond))
+	}
 	fmt.Printf("latency      p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
@@ -195,9 +258,99 @@ func main() {
 		fmt.Printf("%s:%d", name, codes[c])
 	}
 	fmt.Println()
+	// Every request hard-failing (connection refused, 5xx on every try)
+	// means the target is down or broken — say so unmistakably instead of
+	// leaving a zero-throughput report to be misread as a slow server.
+	if ok == 0 && rejected == 0 && cancelled == 0 {
+		log.Printf("FAILED: all %d requests hard-failed (transport errors: %d, HTTP >= 400: %d) — is hybridperfd serving at %s?",
+			total, codes[0], total-codes[0], *baseURL)
+		os.Exit(1)
+	}
 	// Real failures are fatal; so is a run where every request was shed
 	// (a server rejecting 100% of traffic is not a passing soak).
 	if fail > 0 || ok == 0 {
 		os.Exit(1)
 	}
+}
+
+// enumerateTuples builds a deterministic batch tuple list by walking the
+// system's (nodes, cores, frequency) grid — as advertised by
+// GET /v1/systems — in row-major order once per program and taking the
+// first n coordinates of the concatenation. The same server always
+// yields the same tuples, so every batch request in a run (and across
+// runs) is identical.
+func enumerateTuples(client *http.Client, baseURL, system string, programs []string, n int) ([]map[string]any, error) {
+	resp, err := client.Get(baseURL + "/v1/systems")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/systems: HTTP %d", resp.StatusCode)
+	}
+	var doc struct {
+		Systems []struct {
+			Name         string    `json:"name"`
+			MaxNodes     int       `json:"max_nodes"`
+			CoresPerNode int       `json:"cores_per_node"`
+			FreqsGHz     []float64 `json:"frequencies_ghz"`
+		} `json:"systems"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	for _, sys := range doc.Systems {
+		if sys.Name != system {
+			continue
+		}
+		var out []map[string]any
+		for _, program := range programs {
+			program = strings.TrimSpace(program)
+			for nodes := 1; nodes <= sys.MaxNodes; nodes++ {
+				for cores := 1; cores <= sys.CoresPerNode; cores++ {
+					for _, f := range sys.FreqsGHz {
+						if len(out) == n {
+							return out, nil
+						}
+						out = append(out, map[string]any{
+							"system": system, "program": program,
+							"nodes": nodes, "cores": cores, "freq_ghz": f,
+						})
+					}
+				}
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("system %q advertises an empty configuration grid", system)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("system %q not in /v1/systems", system)
+}
+
+// readNDJSON consumes a streamed batch response, requiring at least one
+// line and a trailing summary line — a truncated stream is an error, not
+// a success with fewer predictions.
+func readNDJSON(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 8<<20)
+	var last string
+	lines := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		last = sc.Text()
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 {
+		return errors.New("empty NDJSON stream")
+	}
+	if !strings.Contains(last, `"type":"summary"`) {
+		return errors.New("NDJSON stream truncated: no trailing summary line")
+	}
+	return nil
 }

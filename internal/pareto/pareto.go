@@ -102,6 +102,23 @@ func Evaluate(m *core.Model, cfgs []machine.Config, S int) ([]Point, error) {
 // bit-identical to serial Evaluate: results are written by index with the
 // same per-point code.
 func EvaluateParallel(ctx context.Context, m *core.Model, cfgs []machine.Config, S, workers int) ([]Point, error) {
+	pts := make([]Point, len(cfgs))
+	if err := EvaluateParallelInto(ctx, m, cfgs, S, workers, pts); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// EvaluateParallelInto is EvaluateParallel writing into a caller-provided
+// points slice (len(pts) must equal len(cfgs)), so batch-serving callers
+// can recycle the output buffer across requests via sync.Pool instead of
+// allocating one slice per evaluation. Every element of pts is
+// overwritten; semantics, sharding and error aggregation are identical to
+// EvaluateParallel.
+func EvaluateParallelInto(ctx context.Context, m *core.Model, cfgs []machine.Config, S, workers int, pts []Point) error {
+	if len(pts) != len(cfgs) {
+		return fmt.Errorf("pareto: points buffer holds %d entries for %d configurations", len(pts), len(cfgs))
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -114,7 +131,6 @@ func EvaluateParallel(ctx context.Context, m *core.Model, cfgs []machine.Config,
 	if workers < 1 {
 		workers = 1
 	}
-	pts := make([]Point, len(cfgs))
 	shardErrs := make([]error, workers)
 	chunk := (len(cfgs) + workers - 1) / workers
 	runShard := func(w int) {
@@ -139,10 +155,7 @@ func EvaluateParallel(ctx context.Context, m *core.Model, cfgs []machine.Config,
 	}
 	if workers == 1 {
 		runShard(0)
-		if err := shardErrs[0]; err != nil {
-			return nil, err
-		}
-		return pts, nil
+		return shardErrs[0]
 	}
 	if runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
@@ -159,10 +172,7 @@ func EvaluateParallel(ctx context.Context, m *core.Model, cfgs []machine.Config,
 			runShard(w)
 		}
 	}
-	if err := errors.Join(shardErrs...); err != nil {
-		return nil, err
-	}
-	return pts, nil
+	return errors.Join(shardErrs...)
 }
 
 // Dominates reports whether a is at least as good as b on both objectives

@@ -437,3 +437,39 @@ func TestEvaluateParallelCancelled(t *testing.T) {
 		}
 	}
 }
+
+// TestEvaluateParallelInto pins the buffer-reuse contract behind the batch
+// serving path: writing into a caller-provided slice is bit-identical to
+// the allocating form, stale buffer contents are fully overwritten, and a
+// mis-sized buffer is an error instead of a partial write.
+func TestEvaluateParallelInto(t *testing.T) {
+	m := commModel(t)
+	cfgs := Space(Range(1, 6), 2, []float64{1e9, 2e9})
+	want, err := EvaluateParallel(context.Background(), m, cfgs, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dirty recycled buffer: every element poisoned, then reused twice.
+	buf := make([]Point, len(cfgs))
+	for round := 0; round < 2; round++ {
+		for i := range buf {
+			buf[i] = Point{Cfg: machine.Config{Nodes: -1}, Pred: core.Prediction{T: math.NaN()}}
+		}
+		if err := EvaluateParallelInto(context.Background(), m, cfgs, 25, 3, buf); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("round %d: point %d differs: %+v vs %+v", round, i, buf[i], want[i])
+			}
+		}
+	}
+	// Length mismatch fails up front, leaving the buffer untouched.
+	short := make([]Point, len(cfgs)-1)
+	if err := EvaluateParallelInto(context.Background(), m, cfgs, 25, 2, short); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := EvaluateParallelInto(context.Background(), m, nil, 25, 2, buf); err == nil {
+		t.Fatal("oversized buffer for empty space accepted")
+	}
+}

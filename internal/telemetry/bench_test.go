@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newBenchServer builds a server with the xeon/SP model pre-characterised
+// and the given response-cache size. The compute-path benchmarks pass 0
+// (cache disabled — every iteration evaluates); the warm-path benchmark
+// passes a real size so iterations exercise the body-memo + cache-hit
+// fast path.
+func newBenchServer(b *testing.B, cacheSize int) *httptest.Server {
+	b.Helper()
+	s := NewServer(Config{
+		Workers:       2,
+		Seed:          42,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		ResponseCache: cacheSize,
+	})
+	if err := s.Warm("xeon", "SP"); err != nil {
+		b.Fatal(err)
+	}
+	s.SetReady(true)
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, client *http.Client, url string, body []byte) {
+	b.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// benchTuples enumerates n xeon/SP coordinates row-major over the
+// (nodes, cores, freq) grid — the same order cmd/loadgen generates.
+func benchTuples(n int) []byte {
+	var sb strings.Builder
+	sb.WriteString(`{"class":"A","tuples":[`)
+	count := 0
+	for nodes := 1; nodes <= 8 && count < n; nodes++ {
+		for cores := 1; cores <= 8 && count < n; cores++ {
+			for _, f := range []float64{1.2, 1.5, 1.8} {
+				if count == n {
+					break
+				}
+				if count > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, `{"system":"xeon","program":"SP","nodes":%d,"cores":%d,"freq_ghz":%v}`,
+					nodes, cores, f)
+				count++
+			}
+		}
+	}
+	sb.WriteString(`]}`)
+	return []byte(sb.String())
+}
+
+// BenchmarkServeBatch192 measures one warm-model /v1/batch round trip
+// carrying xeon's full 192-configuration grid — the vectorised serving
+// path (ns/op is per request; divide by 192 for per-prediction cost).
+func BenchmarkServeBatch192(b *testing.B) {
+	ts := newBenchServer(b, 0)
+	client := &http.Client{}
+	body := benchTuples(192)
+	benchPost(b, client, ts.URL+"/v1/batch", body) // warm HTTP path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, client, ts.URL+"/v1/batch", body)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/192, "ns/prediction")
+}
+
+// BenchmarkServeBatch192Warm measures the same 192-tuple round trip
+// against a server with the response cache enabled: after the priming
+// round every iteration is an exact-byte repeat, served through the body
+// memo + response-cache fast path without decoding the request.
+func BenchmarkServeBatch192Warm(b *testing.B) {
+	ts := newBenchServer(b, 128)
+	client := &http.Client{}
+	body := benchTuples(192)
+	benchPost(b, client, ts.URL+"/v1/batch", body) // prime cache + memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, client, ts.URL+"/v1/batch", body)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/192, "ns/prediction")
+}
+
+// BenchmarkServePredict measures one warm-model /v1/predict round trip —
+// the single-tuple baseline the batch path is compared against.
+func BenchmarkServePredict(b *testing.B) {
+	ts := newBenchServer(b, 0)
+	client := &http.Client{}
+	body := []byte(`{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}`)
+	benchPost(b, client, ts.URL+"/v1/predict", body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, client, ts.URL+"/v1/predict", body)
+	}
+}

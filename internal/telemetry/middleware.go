@@ -35,6 +35,14 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so NDJSON streaming handlers can
+// push partial responses through the middleware.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // annotations carries the model coordinates a handler attaches to its
 // request so the access-log line can report them (program, system, class,
 // config) without the middleware knowing any route's schema.

@@ -1,7 +1,10 @@
 package telemetry
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +14,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +63,16 @@ type Config struct {
 	// engine); an unknown name panics in NewServer — validate
 	// user-supplied values with exec.ValidateEngine first.
 	DefaultEngine string
+	// ResponseCache, when > 0, enables the /v1/sweep + /v1/batch response
+	// cache with that many entries (LRU) and collapses identical
+	// in-flight requests onto one computation. Zero disables the cache
+	// entirely, including the singleflight collapse.
+	ResponseCache int
+	// ResponseCacheTTL bounds how long a cached response is served before
+	// it is recomputed; zero means entries never expire. Responses are
+	// deterministic for a fixed seed, so the TTL is about bounding memory
+	// held by stale keys, not staleness of the data.
+	ResponseCacheTTL time.Duration
 }
 
 // Server is the hybridperfd prediction service: models characterised
@@ -80,8 +94,23 @@ type Server struct {
 	models map[modelKey]*modelEntry
 
 	// sem is the admission-control semaphore: one slot per concurrently
-	// admitted characterisation campaign or sweep evaluation.
+	// admitted characterisation campaign or sweep/batch evaluation.
 	sem chan struct{}
+
+	// respCache caches rendered /v1/sweep and /v1/batch responses by
+	// canonicalised request key; nil when Config.ResponseCache <= 0.
+	respCache *responseCache
+
+	// batchMemo short-circuits exact-byte repeats of /v1/batch bodies to
+	// their canonical cache key, skipping decode + validation on the hit
+	// path; nil whenever respCache is.
+	batchMemo *bodyMemo
+
+	// systemsOnce renders the static /v1/systems document (and its ETag)
+	// once per process.
+	systemsOnce sync.Once
+	systemsBody []byte
+	systemsETag string
 
 	mReq       *CounterVec
 	mDur       *HistogramVec
@@ -171,6 +200,26 @@ func NewServer(cfg Config) *Server {
 	// In-flight starts existing so the gauge appears on the first scrape.
 	s.mInflight.With().Set(0)
 	s.mModels.With().Set(0)
+	if cfg.ResponseCache > 0 {
+		ctr := cacheCounters{
+			hits: s.reg.Counter("hybridperf_response_cache_hits_total",
+				"Requests served from the response cache.").With(),
+			misses: s.reg.Counter("hybridperf_response_cache_misses_total",
+				"Requests that computed (and stored) their response.").With(),
+			evictions: s.reg.Counter("hybridperf_response_cache_evictions_total",
+				"Response-cache entries dropped by LRU pressure or TTL expiry.").With(),
+			collapsed: s.reg.Counter("hybridperf_response_cache_collapsed_total",
+				"Requests collapsed onto an identical in-flight computation (singleflight).").With(),
+			entries: s.reg.Gauge("hybridperf_response_cache_entries",
+				"Responses currently held in the cache.").With(),
+		}
+		ctr.entries.Set(0)
+		s.respCache = newResponseCache(cfg.ResponseCache, cfg.ResponseCacheTTL, ctr)
+		// Several syntactic variants (tuple order, defaulted fields) can
+		// name one semantic entry, so the memo is sized a few times larger
+		// than the cache it fronts.
+		s.batchMemo = newBodyMemo(4 * cfg.ResponseCache)
+	}
 	// Scrape-time families: latency quantiles interpolated from the route
 	// histograms, then the engine-level counters.
 	s.reg.OnScrape(func(w io.Writer) {
@@ -199,10 +248,15 @@ func NewServer(cfg Config) *Server {
 }
 
 // Warm characterises one (system, program) pair ahead of traffic, so a
-// deployment can flip /readyz only after its hot models are cached.
-// Warm bypasses admission control: it runs before the server takes
-// traffic.
+// deployment can flip /readyz only after its hot models are cached. The
+// warm-up runs the exact path traffic takes: the server's default engine
+// feeds that mode's shared counters, and the campaign holds an admission
+// slot — waiting for one rather than shedding, since warm-up has no
+// client to 429 — so a daemon warming while already serving cannot
+// oversubscribe the campaign budget it advertises.
 func (s *Server) Warm(system, program string) error {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
 	_, err := s.model(context.Background(), modelKey{system: system, program: program}, s.defEngine, true)
 	return err
 }
@@ -232,6 +286,7 @@ func (s *Server) Spans() *Spans { return s.spans }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("GET /v1/systems", s.instrument("/v1/systems", s.handleSystems))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -422,7 +477,7 @@ func (s *Server) reject(w http.ResponseWriter, route string) {
 // and reports whether it handled the error.
 func interrupted(w http.ResponseWriter, err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, errCharAborted) {
+		errors.Is(err, errCharAborted) || errors.Is(err, errFlightAborted) {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "request interrupted: %v", err)
 		return true
@@ -466,7 +521,13 @@ func toPredictionJSON(p core.Prediction) predictionJSON {
 // defaulting a typo'd knob, and trailing data after the first JSON value
 // is an error rather than ignored.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeJSONMax(w, r, v, 1<<20)
+}
+
+// decodeJSONMax is decodeJSON with a per-route body cap (/v1/batch
+// accepts larger bodies than the point endpoints).
+func decodeJSONMax(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
@@ -475,6 +536,42 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 				"request body exceeds %d bytes", tooBig.Limit)
 			return false
 		}
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		httpError(w, http.StatusBadRequest,
+			"invalid JSON body: trailing data after the request object")
+		return false
+	}
+	return true
+}
+
+// readBodyMax reads the whole request body under a size cap, for
+// handlers that need the raw bytes (the batch body memo) before
+// decoding. The over-limit response matches decodeJSONMax's.
+func readBodyMax(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return nil, false
+		}
+		httpError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeJSONBytes is decodeJSONMax over an already-read body, with the
+// same strictness (unknown fields and trailing data rejected) and the
+// same error shapes.
+func decodeJSONBytes(w http.ResponseWriter, body []byte, v any) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return false
 	}
@@ -624,23 +721,32 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mByEngine.With("/v1/sweep", engine).Inc()
-	// Sweeps always count against the campaign budget: even on a warm
-	// model a full-space evaluation is the heavy path. The slot covers
-	// the whole request, including a cold characterisation (resolve is
-	// told the request is already admitted).
-	release, ok := s.acquire()
-	if !ok {
-		s.reject(w, "/v1/sweep")
+	// Coordinates are validated — and defaults resolved — before the
+	// response cache is consulted, so the cache key is canonical (an
+	// explicit max_nodes equal to the testbed size hits the same entry as
+	// an omitted one) and garbage requests never reach the cache.
+	prof, err := machine.ByName(req.System)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "unknown system %q", req.System)
 		return
 	}
-	defer release()
-	e, class, S, ok := s.resolve(w, r, req.System, req.Program, req.Class, engine, true)
-	if !ok {
+	spec, err := workload.ByName(req.Program)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "unknown program %q", req.Program)
+		return
+	}
+	class := req.Class
+	if class == "" {
+		class = string(workload.ClassA)
+	}
+	S, err := spec.Iterations(workload.Class(class))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad class %q: %v", class, err)
 		return
 	}
 	maxNodes := req.MaxNodes
 	if maxNodes == 0 {
-		maxNodes = e.prof.MaxNodes
+		maxNodes = prof.MaxNodes
 	}
 	if maxNodes < 1 || maxNodes > maxSweepNodes {
 		httpError(w, http.StatusBadRequest, "max_nodes %d out of range [1,%d]", req.MaxNodes, maxSweepNodes)
@@ -653,57 +759,126 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if workers > 4*runtime.GOMAXPROCS(0) {
 		workers = 4 * runtime.GOMAXPROCS(0)
 	}
-	var nodes []int
-	if req.Pow2 {
-		nodes = pareto.PowersOfTwo(maxNodes)
-	} else {
-		nodes = pareto.Range(1, maxNodes)
-	}
-	cfgs := pareto.Space(nodes, e.prof.CoresPerNode, e.prof.Frequencies)
-	annotate(r.Context(), slog.Int("configs", len(cfgs)), slog.Int("workers", workers))
-	t0 := time.Now()
-	points, err := pareto.EvaluateParallel(r.Context(), e.model, cfgs, S, workers)
-	if err != nil {
-		if interrupted(w, err) {
-			return
-		}
-		httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
-		return
-	}
-	front := pareto.Frontier(points)
-	s.spans.Observe("model", fmt.Sprintf("sweep %s/%s (%d cfgs)", req.System, req.Program, len(cfgs)),
-		t0, time.Now(), map[string]any{"id": requestID(r.Context())})
+	annotate(r.Context(),
+		slog.String("system", req.System),
+		slog.String("program", req.Program),
+		slog.String("class", class),
+		slog.String("engine", engine),
+		slog.Int("workers", workers))
 
-	resp := struct {
-		System    string           `json:"system"`
-		Program   string           `json:"program"`
-		Class     string           `json:"class"`
-		Configs   int              `json:"configs"`
-		Frontier  []predictionJSON `json:"frontier"`
-		Deadline  *predictionJSON  `json:"min_energy_within_deadline,omitempty"`
-		Budget    *predictionJSON  `json:"min_time_within_budget,omitempty"`
-		WorkersUs int              `json:"workers"`
-	}{System: req.System, Program: req.Program, Class: string(class), Configs: len(cfgs), WorkersUs: workers}
-	for _, p := range front {
-		resp.Frontier = append(resp.Frontier, toPredictionJSON(p.Pred))
-	}
-	if req.DeadlineS > 0 {
-		if p, ok := pareto.MinEnergyWithinDeadline(points, req.DeadlineS); ok {
-			pj := toPredictionJSON(p.Pred)
-			resp.Deadline = &pj
+	key := sweepCacheKey(req.System, req.Program, class, maxNodes, req.Pow2, req.DeadlineS, req.BudgetJ)
+	s.respondCached(w, r, "/v1/sweep", key, func() (*cachedResponse, error) {
+		// Sweeps always count against the campaign budget: even on a warm
+		// model a full-space evaluation is the heavy path. The flight
+		// leader's slot covers the whole computation, including a cold
+		// characterisation (model is told the request is already
+		// admitted); collapsed followers and cache hits never claim one.
+		release, ok := s.acquire()
+		if !ok {
+			return nil, fmt.Errorf("sweep: %w", errSaturated)
 		}
-	}
-	if req.BudgetJ > 0 {
-		if p, ok := pareto.MinTimeWithinBudget(points, req.BudgetJ); ok {
-			pj := toPredictionJSON(p.Pred)
-			resp.Budget = &pj
+		defer release()
+		e, err := s.model(r.Context(), modelKey{system: req.System, program: req.Program}, engine, true)
+		if err != nil {
+			return nil, err
 		}
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+		var nodes []int
+		if req.Pow2 {
+			nodes = pareto.PowersOfTwo(maxNodes)
+		} else {
+			nodes = pareto.Range(1, maxNodes)
+		}
+		cfgs := pareto.Space(nodes, e.prof.CoresPerNode, e.prof.Frequencies)
+		t0 := time.Now()
+		points, err := pareto.EvaluateParallel(r.Context(), e.model, cfgs, S, workers)
+		if err != nil {
+			return nil, fmt.Errorf("sweep failed: %w", err)
+		}
+		front := pareto.Frontier(points)
+		s.spans.Observe("model", fmt.Sprintf("sweep %s/%s (%d cfgs)", req.System, req.Program, len(cfgs)),
+			t0, time.Now(), map[string]any{"id": requestID(r.Context())})
+		return buildSweepResponse(req.System, req.Program, class, len(cfgs), front, points, req.DeadlineS, req.BudgetJ), nil
+	})
 }
 
+// sweepSummary is the header of a sweep answer: everything except the
+// frontier list itself. It doubles as the NDJSON summary line, so the
+// streamed and document forms carry identical fields by construction.
+type sweepSummary struct {
+	System   string          `json:"system"`
+	Program  string          `json:"program"`
+	Class    string          `json:"class"`
+	Configs  int             `json:"configs"`
+	Points   int             `json:"frontier_points"`
+	Deadline *predictionJSON `json:"min_energy_within_deadline,omitempty"`
+	Budget   *predictionJSON `json:"min_time_within_budget,omitempty"`
+}
+
+// buildSweepResponse renders both wire shapes of a sweep answer — the
+// canonical JSON document (summary fields + frontier array) and the
+// NDJSON lines (one frontier point per line, then the summary) — by
+// marshalling each frontier point once and splicing the fragments into
+// both shapes (see spliceResponse).
+func buildSweepResponse(system, program, class string, configs int, front, points []pareto.Point, deadlineS, budgetJ float64) *cachedResponse {
+	sum := sweepSummary{System: system, Program: program, Class: class, Configs: configs, Points: len(front)}
+	if deadlineS > 0 {
+		if p, ok := pareto.MinEnergyWithinDeadline(points, deadlineS); ok {
+			pj := toPredictionJSON(p.Pred)
+			sum.Deadline = &pj
+		}
+	}
+	if budgetJ > 0 {
+		if p, ok := pareto.MinTimeWithinBudget(points, budgetJ); ok {
+			pj := toPredictionJSON(p.Pred)
+			sum.Budget = &pj
+		}
+	}
+	frontier := make([]predictionJSON, len(front))
+	for i, p := range front {
+		frontier[i] = toPredictionJSON(p.Pred)
+	}
+	return spliceResponse(mustJSON(sum), "frontier", "point", marshalEach(frontier))
+}
+
+// handleSystems serves the static capability document. It is rendered
+// once per process and carries a strong ETag (content hash), so pollers
+// — loadgen enumerates the config space from it before every batch run —
+// revalidate with If-None-Match and get a body-less 304.
 func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	s.systemsOnce.Do(func() {
+		s.systemsBody = append(mustJSON(systemsDocument(s.defEngine)), '\n')
+		sum := sha256.Sum256(s.systemsBody)
+		s.systemsETag = `"` + hex.EncodeToString(sum[:8]) + `"`
+	})
+	w.Header().Set("ETag", s.systemsETag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, s.systemsETag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.systemsBody)
+}
+
+// etagMatches implements If-None-Match for a single strong ETag: "*"
+// matches anything, otherwise each comma-separated candidate is compared
+// after stripping an optional W/ weak prefix (weak comparison is fine for
+// If-None-Match).
+func etagMatches(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// systemsDocument builds the /v1/systems payload.
+func systemsDocument(defaultEngine string) any {
 	type systemJSON struct {
 		Name         string    `json:"name"`
 		ISA          string    `json:"isa"`
@@ -738,14 +913,13 @@ func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
 	for _, spec := range workload.Extended() {
 		programs = append(programs, spec.Name)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
+	return struct {
 		Systems       []systemJSON `json:"systems"`
 		Programs      []string     `json:"programs"`
 		Classes       []string     `json:"classes"`
 		Engines       []string     `json:"engines"`
 		DefaultEngine string       `json:"default_engine"`
-	}{systems, programs, classNames(), exec.Engines(), s.defEngine})
+	}{systems, programs, classNames(), exec.Engines(), defaultEngine}
 }
 
 func classNames() []string {

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,13 +21,17 @@ import (
 )
 
 // newTestServer builds a ready server with a quiet logger on a fixed seed,
-// mounted on an httptest listener.
+// mounted on an httptest listener. The response cache is on (as in the
+// shipped daemon defaults) so the cacheable handlers run their production
+// path; tests needing a cache-less server use newLifecycleServer with a
+// zero Config.
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	s := NewServer(Config{
-		Workers: 2,
-		Seed:    42,
-		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Workers:       2,
+		Seed:          42,
+		ResponseCache: 128,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	s.SetReady(true)
 	ts := httptest.NewServer(s.Handler())
@@ -290,6 +295,11 @@ func TestMetricsExposition(t *testing.T) {
 		"hybridperf_engine_mpi_messages_total":              "counter",
 		"hybridperf_engine_heap_high_water":                 "gauge",
 		"hybridperf_engine_mpi_msg_bytes":                   "histogram",
+		"hybridperf_response_cache_hits_total":              "counter",
+		"hybridperf_response_cache_misses_total":            "counter",
+		"hybridperf_response_cache_evictions_total":         "counter",
+		"hybridperf_response_cache_collapsed_total":         "counter",
+		"hybridperf_response_cache_entries":                 "gauge",
 	}
 	for name, kind := range wantTypes {
 		if types[name] != kind {
@@ -457,5 +467,112 @@ func TestModelCharacterizedOnce(t *testing.T) {
 	}
 	if n := s.mChar.With("arm", "LB").Value(); n != 1 {
 		t.Errorf("characterisations = %d, want exactly 1", n)
+	}
+}
+
+// TestSystemsETag: /v1/systems carries a strong ETag and honours
+// If-None-Match with a body-less 304, including weak-prefixed and
+// comma-separated candidate lists and the "*" wildcard.
+func TestSystemsETag(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a quoted strong validator", etag)
+	}
+	if len(body) == 0 {
+		t.Fatal("systems body empty")
+	}
+	for _, inm := range []string{etag, `"stale", ` + etag, "W/" + etag, "*"} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/systems", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("If-None-Match", inm)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match %q: status %d, want 304", inm, resp.StatusCode)
+		}
+		if len(raw) != 0 {
+			t.Errorf("If-None-Match %q: 304 carried %d body bytes", inm, len(raw))
+		}
+		if got := resp.Header.Get("ETag"); got != etag {
+			t.Errorf("304 ETag = %q, want %q", got, etag)
+		}
+	}
+	// A stale validator revalidates to the full body.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/systems", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", `"0000000000000000"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stale If-None-Match: status %d, want 200", resp.StatusCode)
+	}
+	if string(raw) != string(body) {
+		t.Error("revalidated body differs from the original")
+	}
+}
+
+// TestWarmRunsUnderDefaultEngineAndAdmission audits the -preload path: a
+// warm-up campaign must hold an admission slot for its duration and run on
+// the server's default engine (feeding that mode's counters), exactly like
+// a served cold request would.
+func TestWarmRunsUnderDefaultEngineAndAdmission(t *testing.T) {
+	s := NewServer(Config{
+		Workers:       2,
+		Seed:          42,
+		MaxCampaigns:  1,
+		DefaultEngine: "sequential",
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	var sawSlots int
+	var sawEngine uint64
+	s.charTestHook = func(ctx context.Context, key modelKey) error {
+		sawSlots = len(s.sem)
+		sawEngine = s.EngineFor("sequential").Snapshot().Events
+		return nil
+	}
+	if err := s.Warm("arm", "LB"); err != nil {
+		t.Fatal(err)
+	}
+	if sawSlots != 1 {
+		t.Errorf("admission slots held during warm-up = %d, want 1", sawSlots)
+	}
+	if sawEngine != 0 {
+		t.Errorf("sequential engine events before the warm campaign = %d, want 0", sawEngine)
+	}
+	if got := s.EngineFor("sequential").Snapshot().Events; got == 0 {
+		t.Error("warm-up fed no events to the default (sequential) engine")
+	}
+	if got := s.EngineFor("goroutine").Snapshot().Events; got != 0 {
+		t.Errorf("warm-up leaked %d events into the non-default engine", got)
+	}
+	if n := s.mChar.With("arm", "LB").Value(); n != 1 {
+		t.Errorf("characterisations after warm-up = %d, want 1", n)
+	}
+	// The slot is returned: Warm again (cached, still takes and releases a
+	// slot) and then saturate manually to prove capacity is back to 1.
+	if err := s.Warm("arm", "LB"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.sem) != 0 {
+		t.Errorf("admission slots still held after warm-up: %d", len(s.sem))
 	}
 }
