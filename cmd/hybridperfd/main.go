@@ -20,6 +20,17 @@
 // (-request-timeout); a disconnected client or expired deadline cancels
 // its in-flight simulations cooperatively.
 //
+// With -model-store the daemon persists every characterisation campaign
+// as a versioned, checksummed snapshot and warm-loads matching snapshots
+// at boot, so a restart serves its first prediction without re-running a
+// single campaign — bit-identical to the cold path. With -peers/-self
+// several daemons form a static cluster: each (system, program) model
+// key has one owning replica on a consistent-hash ring and requests for
+// remotely-owned keys are forwarded there (X-Hybridperf-Shard names the
+// replica that answered; a request carrying X-Hybridperf-Forwarded is
+// always served locally). Ownership is advisory — a forward that fails
+// at the transport falls back to serving locally.
+//
 // Predict and sweep bodies accept an optional "engine" field selecting
 // the simulation engine ("goroutine" or "sequential" — bit-identical
 // results, the sequential engine is faster); -default-engine sets the
@@ -37,6 +48,8 @@
 //
 //	hybridperfd -addr :8080
 //	hybridperfd -addr 127.0.0.1:8080 -preload xeon/SP,arm/CP -log json
+//	hybridperfd -addr :8081 -model-store /var/lib/hybridperf/models \
+//	    -self http://127.0.0.1:8081 -peers http://127.0.0.1:8081,http://127.0.0.1:8082
 //	curl -d '{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}' \
 //	    localhost:8080/v1/predict
 package main
@@ -55,6 +68,7 @@ import (
 	"time"
 
 	"hybridperf/internal/exec"
+	"hybridperf/internal/modelstore"
 	"hybridperf/internal/telemetry"
 )
 
@@ -72,6 +86,9 @@ func main() {
 		defEng   = flag.String("default-engine", "", "simulation engine for requests without an \"engine\" field: goroutine or sequential (default $HYBRIDPERF_ENGINE, then goroutine)")
 		cacheSz  = flag.Int("response-cache-size", 512, "sweep/batch response cache entries; identical in-flight requests collapse onto one computation (0 = disabled)")
 		cacheTTL = flag.Duration("response-cache-ttl", 5*time.Minute, "response cache entry lifetime (0 = entries never expire)")
+		storeDir = flag.String("model-store", "", "directory for persistent characterisation snapshots; warm-loaded at boot, written after every campaign (empty = no persistence)")
+		peers    = flag.String("peers", "", "comma-separated replica base URLs forming a static cluster, e.g. http://a:8080,http://b:8080 (empty = single instance)")
+		self     = flag.String("self", "", "this replica's own base URL; must be one of -peers")
 	)
 	flag.Parse()
 
@@ -98,6 +115,15 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	var store *modelstore.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = modelstore.Open(*storeDir); err != nil {
+			logger.Error("opening model store", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+	}
+
 	srv := telemetry.NewServer(telemetry.Config{
 		Workers:          *workers,
 		Seed:             *seed,
@@ -108,7 +134,23 @@ func main() {
 		DefaultEngine:    *defEng,
 		ResponseCache:    *cacheSz,
 		ResponseCacheTTL: *cacheTTL,
+		ModelStore:       store,
 	})
+
+	if (*peers == "") != (*self == "") {
+		fmt.Fprintln(os.Stderr, "hybridperfd: -peers and -self must be set together")
+		os.Exit(2)
+	}
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			list = append(list, strings.TrimSpace(p))
+		}
+		if err := srv.SetCluster(strings.TrimSpace(*self), list); err != nil {
+			fmt.Fprintf(os.Stderr, "hybridperfd: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	// Warm requested models before declaring readiness, so a load balancer
 	// never routes traffic into a cold characterisation stampede.

@@ -75,6 +75,12 @@ type Summary struct {
 	MpiP     mpip.Report
 	Baseline map[machine.CF]core.BaselinePoint
 
+	// BaselineClass is the workload class the baseline sweep actually ran
+	// (Options.BaselineClass after defaulting). Snapshot stores key on it:
+	// two campaigns agree bit-for-bit only if they characterised the same
+	// baseline input.
+	BaselineClass workload.Class
+
 	// Metrics is the summed engine-counter snapshot over MetricsRuns
 	// instrumented simulations (only with Options.Metrics).
 	Metrics     metrics.EngineSnapshot
@@ -238,12 +244,13 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 		Power:         power.Model,
 	}
 	return &Summary{
-		Inputs:      in,
-		NetPipe:     points,
-		Power:       power,
-		MpiP:        report,
-		Baseline:    baseline,
-		Metrics:     agg,
-		MetricsRuns: aggRuns,
+		Inputs:        in,
+		NetPipe:       points,
+		Power:         power,
+		MpiP:          report,
+		Baseline:      baseline,
+		BaselineClass: opts.BaselineClass,
+		Metrics:       agg,
+		MetricsRuns:   aggRuns,
 	}, nil
 }

@@ -1,0 +1,134 @@
+// Package cluster implements consistent-hash ownership of model keys
+// across a static list of hybridperfd replicas. Each (system, program)
+// pair — the unit of characterisation, and therefore the unit of model
+// cache state worth pinning to one replica — hashes to an owner on a
+// virtual-node ring, so adding or removing one replica remaps only the
+// keys that replica owned instead of reshuffling the whole key space.
+//
+// The peer list is static configuration (-peers/-self): the model
+// catalogue is small and bounded (systems × programs), campaigns are
+// deterministic, and any replica can serve any key if it must — so
+// membership churn degrades to extra campaigns, never wrong answers.
+// That makes gossip overkill; a load balancer's health checks plus a
+// redeploy with a new peer list cover the operational cases.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per peer. 128 vnodes keeps
+// the ownership split within a few percent of even for small clusters
+// while the ring stays a few-KB sorted slice.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over a set of peers. Build
+// once with New; every method is safe for concurrent use.
+type Ring struct {
+	peers  []string
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash uint64
+	peer int // index into peers
+}
+
+// New builds a ring over the given peers with `replicas` virtual nodes
+// per peer (<= 0 means DefaultReplicas). Peers must be non-empty and
+// unique — a duplicated peer would silently own a double share.
+func New(peers []string, replicas int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(peers))
+	owned := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer name")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		owned = append(owned, p)
+	}
+	r := &Ring{peers: owned, points: make([]point, 0, len(owned)*replicas)}
+	for i, p := range owned {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", p, v)), peer: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// hash64 maps a string onto the ring: the first 8 bytes of its SHA-256,
+// big-endian. Cryptographic quality is irrelevant here; what matters is
+// that the placement is stable across processes, platforms and releases,
+// which a hand-rolled or seed-dependent hash would not guarantee.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Peers returns the ring's peer list in construction order.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Contains reports whether peer is a member of the ring.
+func (r *Ring) Contains(peer string) bool {
+	for _, p := range r.peers {
+		if p == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// succ returns the index into points of the first virtual node at or
+// after the key's hash, wrapping around the ring.
+func (r *Ring) succ(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the peer that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.peers[r.points[r.succ(key)].peer]
+}
+
+// Order returns every peer in ring-walk order starting from key's owner:
+// the owner first, then each distinct peer as its first virtual node is
+// encountered walking the ring. This is the fallback order — if the
+// owner is down, the next peer in the walk is the stable second choice,
+// the same from every client.
+func (r *Ring) Order(key string) []string {
+	out := make([]string, 0, len(r.peers))
+	seen := make([]bool, len(r.peers))
+	for i, n := r.succ(key), 0; n < len(r.points); i, n = (i+1)%len(r.points), n+1 {
+		p := r.points[i].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, r.peers[p])
+			if len(out) == len(r.peers) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ModelKey is the ring key for a (system, program) model — the unit of
+// characterisation cache state. The unit separator cannot appear in
+// validated catalogue names, so distinct pairs never collide.
+func ModelKey(system, program string) string { return system + "\x1f" + program }

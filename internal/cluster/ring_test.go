@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Error("empty peer name accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+}
+
+// TestOwnershipStable: ownership is a pure function of (peers, key) —
+// two independently built rings agree, which is what lets every replica
+// and the gateway route without coordination.
+func TestOwnershipStable(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r1, err := New(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New([]string{peers[0], peers[1], peers[2]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := ModelKey(fmt.Sprintf("sys%d", i), "SP")
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("rings disagree on %q", key)
+		}
+	}
+}
+
+// TestOwnershipSpread: with enough keys every peer owns a non-trivial
+// share — the vnode count keeps the split usably even.
+func TestOwnershipSpread(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	r, err := New(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, p := range peers {
+		if counts[p] < keys/len(peers)/3 {
+			t.Errorf("peer %s owns %d of %d keys — far below an even share", p, counts[p], keys)
+		}
+	}
+}
+
+// TestRemovalRemapsOnlyLostKeys: dropping one peer must not move keys
+// between surviving peers — the whole point of consistent hashing.
+func TestRemovalRemapsOnlyLostKeys(t *testing.T) {
+	full, err := New([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := New([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != "d" && before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+}
+
+// TestOrder: the walk starts at the owner, visits every peer exactly
+// once, and is stable.
+func TestOrder(t *testing.T) {
+	peers := []string{"a", "b", "c"}
+	r, err := New(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey("xeon", "SP")
+	order := r.Order(key)
+	if len(order) != len(peers) {
+		t.Fatalf("order %v misses peers", order)
+	}
+	if order[0] != r.Owner(key) {
+		t.Errorf("order starts at %s, owner is %s", order[0], r.Owner(key))
+	}
+	seen := map[string]bool{}
+	for _, p := range order {
+		if seen[p] {
+			t.Fatalf("order %v repeats %s", order, p)
+		}
+		seen[p] = true
+	}
+	again := r.Order(key)
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatalf("order is not stable: %v vs %v", order, again)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	r, err := New([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains("a") || r.Contains("z") {
+		t.Error("Contains misreports membership")
+	}
+}

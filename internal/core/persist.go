@@ -9,6 +9,15 @@ import (
 	"hybridperf/internal/machine"
 )
 
+// ModelVersion names the prediction semantics of the current model
+// implementation. Persisted characterisation snapshots record it
+// (internal/modelstore) and are invalidated when it no longer matches,
+// so a model change can never silently serve predictions computed from
+// inputs that mean something else now. Bump it whenever a change makes
+// previously characterised inputs produce different predictions —
+// equation fixes, unit changes, new required input fields.
+const ModelVersion = "eq1-7.fixpoint.v1"
+
 // The JSON schema for persisted model inputs. Map keys (frequencies,
 // (c,f) points) become explicit records so the format is stable and
 // human-readable.

@@ -1,0 +1,297 @@
+// Package modelstore persists characterisation summaries across process
+// restarts: the paper's idiom is "characterize once, then predict
+// cheaply", and without a store the expensive part — the DES
+// characterisation campaign — dies with the process. A Store is a
+// directory of versioned, checksummed JSON snapshots of core.Inputs,
+// written atomically (temp file + rename) after each successful campaign
+// and loaded at boot, so cold-start is paid once per cluster rather than
+// once per process.
+//
+// Robustness contract: Load never refuses to boot. A truncated,
+// corrupted, tampered or stale snapshot is skipped and counted, never
+// fatal — the worst case is re-running the campaign the snapshot would
+// have saved. Writes are atomic on POSIX rename semantics, so concurrent
+// writers (several shards sharing one store directory) and crashes
+// mid-write can leave at most a stray temp file, never a half-written
+// snapshot under a live name.
+package modelstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hybridperf/internal/core"
+)
+
+// formatVersion is the snapshot envelope schema version. Snapshots with a
+// different format are stale, not corrupt: an older binary reading a
+// newer store skips them cleanly.
+const formatVersion = 1
+
+// Key identifies one characterisation campaign's result. Two campaigns
+// with equal keys (and equal core.ModelVersion) produce bit-identical
+// inputs, which is what makes serving from a snapshot byte-identical to
+// re-characterising.
+type Key struct {
+	System        string `json:"system"`
+	Program       string `json:"program"`
+	BaselineClass string `json:"baselineClass"`
+	BaselineIters int    `json:"baselineIters"`
+	Seed          int64  `json:"seed"`
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s class=%s iters=%d seed=%d",
+		k.System, k.Program, k.BaselineClass, k.BaselineIters, k.Seed)
+}
+
+// snapshotJSON is the on-disk envelope: the key fields, the versions that
+// gate loading, an integrity checksum and the inputs themselves in the
+// core persistence schema.
+type snapshotJSON struct {
+	Format        int             `json:"format"`
+	ModelVersion  string          `json:"modelVersion"`
+	System        string          `json:"system"`
+	Program       string          `json:"program"`
+	BaselineClass string          `json:"baselineClass"`
+	BaselineIters int             `json:"baselineIters"`
+	Seed          int64           `json:"seed"`
+	Checksum      string          `json:"checksum"` // sha256 hex of the compacted inputs value
+	Inputs        json.RawMessage `json:"inputs"`
+}
+
+// Store is a directory of snapshots.
+type Store struct {
+	dir string
+}
+
+// Open creates the store directory if needed and returns the store.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("modelstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// filename derives the snapshot's file name from its key: a readable
+// system/program prefix plus a hash that separates keys differing only in
+// class, iteration count, seed or model version — so a changed model
+// writes a new file instead of clobbering a snapshot an older binary may
+// still want.
+func (s *Store) filename(key Key) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d\x1f%s\x1f%s\x1f%s\x1f%s\x1f%d\x1f%d",
+		formatVersion, core.ModelVersion, key.System, key.Program,
+		key.BaselineClass, key.BaselineIters, key.Seed)))
+	return fmt.Sprintf("%s__%s__%s.json",
+		sanitize(key.System), sanitize(key.Program), hex.EncodeToString(h[:6]))
+}
+
+// sanitize keeps file names portable: anything outside [A-Za-z0-9._-]
+// becomes '_'. Uniqueness comes from the key hash, not the prefix.
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// checksum is the integrity hash of a snapshot's inputs: sha256 over the
+// whitespace-compacted JSON value, so the hash is independent of
+// indentation choices between writer versions.
+func checksum(inputs []byte) (string, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, inputs); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Put writes one snapshot atomically: marshal to a temp file in the store
+// directory, fsync, then rename over the final name. A crash at any point
+// leaves either the old snapshot or the new one, never a torn file.
+func (s *Store) Put(key Key, in core.Inputs) error {
+	if key.System == "" || key.Program == "" {
+		return fmt.Errorf("modelstore: key missing system/program")
+	}
+	var inputs bytes.Buffer
+	if err := core.SaveInputs(&inputs, in); err != nil {
+		return fmt.Errorf("modelstore: serialising inputs for %s: %w", key, err)
+	}
+	sum, err := checksum(inputs.Bytes())
+	if err != nil {
+		return fmt.Errorf("modelstore: checksumming inputs for %s: %w", key, err)
+	}
+	snap := snapshotJSON{
+		Format:        formatVersion,
+		ModelVersion:  core.ModelVersion,
+		System:        key.System,
+		Program:       key.Program,
+		BaselineClass: key.BaselineClass,
+		BaselineIters: key.BaselineIters,
+		Seed:          key.Seed,
+		Checksum:      sum,
+		Inputs:        json.RawMessage(bytes.TrimSpace(inputs.Bytes())),
+	}
+	payload, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("modelstore: marshalling snapshot for %s: %w", key, err)
+	}
+	payload = append(payload, '\n')
+
+	tmp, err := os.CreateTemp(s.dir, ".tmp-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("modelstore: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("modelstore: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("modelstore: closing %s: %w", tmpName, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	final := filepath.Join(s.dir, s.filename(key))
+	if err := os.Rename(tmpName, final); err != nil {
+		return fmt.Errorf("modelstore: publishing %s: %w", final, err)
+	}
+	return nil
+}
+
+// Entry is one successfully loaded snapshot.
+type Entry struct {
+	Key    Key
+	Inputs core.Inputs
+	Path   string
+}
+
+// LoadStats counts what a Load pass saw. Corrupt entries are unreadable
+// or fail their integrity checks; Stale entries are well-formed but
+// written under a different schema or model version.
+type LoadStats struct {
+	Loaded  int
+	Corrupt int
+	Stale   int
+}
+
+// BadEntry records one snapshot Load skipped, for logging.
+type BadEntry struct {
+	Path   string
+	Stale  bool // well-formed but version-mismatched; false = corrupt
+	Reason string
+}
+
+// Load reads every snapshot in the store. Bad entries — truncated files,
+// checksum mismatches, schema or model-version drift — are skipped and
+// counted, never fatal: a store that has rotted in place costs at most
+// the campaigns it would have saved. The returned error covers only an
+// unreadable store directory. Entries come back sorted by path so boot
+// logs are deterministic.
+func (s *Store) Load() ([]Entry, LoadStats, []BadEntry, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return nil, LoadStats{}, nil, fmt.Errorf("modelstore: scanning %s: %w", s.dir, err)
+	}
+	sort.Strings(names)
+	var (
+		entries []Entry
+		stats   LoadStats
+		bad     []BadEntry
+	)
+	for _, path := range names {
+		entry, stale, err := loadOne(path)
+		if err != nil {
+			if stale {
+				stats.Stale++
+			} else {
+				stats.Corrupt++
+			}
+			bad = append(bad, BadEntry{Path: path, Stale: stale, Reason: err.Error()})
+			continue
+		}
+		stats.Loaded++
+		entries = append(entries, entry)
+	}
+	return entries, stats, bad, nil
+}
+
+// loadOne reads and verifies a single snapshot. stale marks version
+// mismatches (skip quietly: a different binary owns that file); any other
+// failure is corruption.
+func loadOne(path string) (Entry, bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("reading: %w", err)
+	}
+	var snap snapshotJSON
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return Entry{}, false, fmt.Errorf("decoding envelope: %w", err)
+	}
+	if snap.Format != formatVersion {
+		return Entry{}, true, fmt.Errorf("format %d, want %d", snap.Format, formatVersion)
+	}
+	if snap.ModelVersion != core.ModelVersion {
+		return Entry{}, true, fmt.Errorf("model version %q, current %q", snap.ModelVersion, core.ModelVersion)
+	}
+	if len(snap.Inputs) == 0 {
+		return Entry{}, false, fmt.Errorf("empty inputs")
+	}
+	sum, err := checksum(snap.Inputs)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("checksumming inputs: %w", err)
+	}
+	if sum != snap.Checksum {
+		return Entry{}, false, fmt.Errorf("checksum mismatch: stored %s, computed %s", snap.Checksum, sum)
+	}
+	in, err := core.LoadInputs(bytes.NewReader(snap.Inputs))
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("decoding inputs: %w", err)
+	}
+	// No name cross-check here: the envelope's System/Program are the
+	// caller's catalogue lookup keys ("xeon"), while the inputs carry the
+	// canonical profile names a campaign recorded ("xeon-e5-2603"). Only
+	// the adopter holds the catalogue that maps one to the other, so
+	// mislabel detection is its job (see telemetry.Server.adoptSnapshot).
+	return Entry{
+		Key: Key{
+			System:        snap.System,
+			Program:       snap.Program,
+			BaselineClass: snap.BaselineClass,
+			BaselineIters: snap.BaselineIters,
+			Seed:          snap.Seed,
+		},
+		Inputs: in,
+		Path:   path,
+	}, false, nil
+}

@@ -1,0 +1,229 @@
+package modelstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hybridperf/internal/core"
+	"hybridperf/internal/machine"
+)
+
+func testInputs(system, program string) core.Inputs {
+	return core.Inputs{
+		System:        system,
+		Program:       program,
+		NetTopology:   machine.TopologyShared,
+		BaselineIters: 64,
+		Baseline: map[machine.CF]core.BaselinePoint{
+			{Cores: 1, Freq: 2.0e9}: {W: 1e9, B: 2e8, M: 3e8, U: 0.9},
+			{Cores: 2, Freq: 2.0e9}: {W: 1.1e9, B: 2.5e8, M: 3.5e8, U: 0.85},
+			{Cores: 2, Freq: 2.4e9}: {W: 1.1e9, B: 2.6e8, M: 3.7e8, U: 0.84},
+		},
+		Comm: core.HybridComm{HaloMsgs: 4, HaloBytes: 65536, HaloExp: 0.5},
+		Net:  core.NetModel{Overhead: 28e-6, Peak: 115e6},
+		Power: core.PowerModel{
+			PAct:     map[float64]float64{2.0e9: 12.5, 2.4e9: 16.25},
+			PStall:   map[float64]float64{2.0e9: 8.5, 2.4e9: 10.75},
+			PMem:     9,
+			PNet:     4,
+			PSysIdle: 55,
+		},
+	}
+}
+
+func testKey(system, program string) Key {
+	return Key{System: system, Program: program, BaselineClass: "S", BaselineIters: 64, Seed: 42}
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutLoadRoundTrip(t *testing.T) {
+	s := openStore(t)
+	key := testKey("xeon", "SP")
+	in := testInputs("xeon", "SP")
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	entries, stats, bad, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("bad entries on a clean store: %+v", bad)
+	}
+	if stats != (LoadStats{Loaded: 1}) {
+		t.Fatalf("stats = %+v, want 1 loaded", stats)
+	}
+	if entries[0].Key != key {
+		t.Fatalf("key round trip: got %+v, want %+v", entries[0].Key, key)
+	}
+	if !reflect.DeepEqual(entries[0].Inputs, in) {
+		t.Fatalf("inputs did not round trip:\ngot  %+v\nwant %+v", entries[0].Inputs, in)
+	}
+}
+
+// TestPutOverwritesSameKey: a re-characterisation of the same key
+// replaces the snapshot instead of accumulating files.
+func TestPutOverwritesSameKey(t *testing.T) {
+	s := openStore(t)
+	key := testKey("xeon", "SP")
+	in := testInputs("xeon", "SP")
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	in.BaselineIters = 64 // unchanged key, tweak a payload value
+	in.Net.Overhead = 30e-6
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	entries, stats, _, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 1 || len(entries) != 1 {
+		t.Fatalf("stats = %+v (entries %d), want exactly one snapshot", stats, len(entries))
+	}
+	if entries[0].Inputs.Net.Overhead != 30e-6 {
+		t.Fatalf("overwrite served the stale payload: %+v", entries[0].Inputs.Net)
+	}
+}
+
+// TestDistinctKeysDistinctFiles: keys differing only in seed (or class)
+// coexist — one store can serve daemons with different seeds.
+func TestDistinctKeysDistinctFiles(t *testing.T) {
+	s := openStore(t)
+	in := testInputs("xeon", "SP")
+	k1 := testKey("xeon", "SP")
+	k2 := k1
+	k2.Seed = 7
+	if err := s.Put(k1, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, in); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, _, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 2 {
+		t.Fatalf("stats = %+v, want 2 loaded", stats)
+	}
+}
+
+// TestCorruptionTolerance: truncated, garbage, tampered and
+// version-mismatched snapshots are skipped and counted; the good ones
+// still load. This is the crash-safety contract — a store must never
+// refuse to boot a daemon.
+func TestCorruptionTolerance(t *testing.T) {
+	s := openStore(t)
+	if err := s.Put(testKey("xeon", "SP"), testInputs("xeon", "SP")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey("arm", "CP"), testInputs("arm", "CP")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot truncated mid-write (simulating a crash on a filesystem
+	// without atomic rename durability).
+	good, err := os.ReadFile(filepath.Join(s.Dir(), s.filename(testKey("xeon", "SP"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "truncated.json"), good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Plain garbage.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "garbage.json"), []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A well-formed envelope whose inputs were tampered with after the
+	// checksum was computed.
+	tampered := string(good)
+	tampered = strings.Replace(tampered, `"baselineIters": 64`, `"baselineIters": 65`, 2)
+	if tampered == string(good) {
+		t.Fatal("tamper replacement did not apply")
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "tampered.json"), []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot from a different model version: stale, not corrupt.
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(good, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap["modelVersion"] = json.RawMessage(`"some-older-model"`)
+	staleRaw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "stale.json"), staleRaw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, stats, bad, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 2 {
+		t.Errorf("loaded = %d, want the 2 intact snapshots", stats.Loaded)
+	}
+	if stats.Corrupt != 3 {
+		t.Errorf("corrupt = %d, want 3 (truncated, garbage, tampered); bad: %+v", stats.Corrupt, bad)
+	}
+	if stats.Stale != 1 {
+		t.Errorf("stale = %d, want 1; bad: %+v", stats.Stale, bad)
+	}
+	if len(entries) != 2 {
+		t.Errorf("entries = %d, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.Inputs.BaselineIters != 64 {
+			t.Errorf("loaded entry %s carries tampered payload", e.Key)
+		}
+	}
+}
+
+// TestNoTempFilesLeftBehind: Put cleans its temp file on success, so a
+// long-lived store doesn't accumulate junk that a Load scan would then
+// have to consider.
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	s := openStore(t)
+	if err := s.Put(testKey("xeon", "SP"), testInputs("xeon", "SP")); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(s.Dir(), ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+// TestFilenameSanitization: hostile system/program names cannot escape
+// the store directory or collide after sanitisation (the key hash keeps
+// them distinct).
+func TestFilenameSanitization(t *testing.T) {
+	s := openStore(t)
+	k1 := Key{System: "../evil", Program: "a/b", BaselineClass: "S", BaselineIters: 1, Seed: 1}
+	k2 := Key{System: ".._evil", Program: "a_b", BaselineClass: "S", BaselineIters: 1, Seed: 1}
+	f1, f2 := s.filename(k1), s.filename(k2)
+	if strings.ContainsAny(f1, "/\\") {
+		t.Errorf("filename %q contains a path separator", f1)
+	}
+	if f1 == f2 {
+		t.Errorf("sanitised collision: %q", f1)
+	}
+}

@@ -159,6 +159,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	canon = canonicalizeTuples(canon)
 
+	// A batch whose every tuple is owned by one remote replica forwards
+	// whole (before the memo stores this body, so forwarded bodies never
+	// enter the local fast path); mixed-ownership batches are served
+	// locally — splitting them across owners is the gateway's job.
+	if owner, ok := s.batchRemoteOwner(r, canon); ok && s.forward(w, r, body, owner) {
+		return
+	}
+
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.cfg.Workers

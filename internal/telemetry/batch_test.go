@@ -117,6 +117,12 @@ func TestBatchErrorPaths(t *testing.T) {
 
 // readStream POSTs body with streaming requested (via the Accept header)
 // and returns the NDJSON lines plus the X-Response-Cache header.
+//
+// Headers are asserted from resp.Header the moment Do returns — before a
+// single body byte is read. net/http silently drops any header the
+// handler sets after the first flush, so a header visible here was
+// provably written before the stream began; one set too late would be
+// absent (or demoted to a trailer, pinned empty below).
 func readStream(t *testing.T, url, body string) ([]string, string) {
 	t.Helper()
 	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
@@ -137,6 +143,13 @@ func readStream(t *testing.T, url, body string) ([]string, string) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Errorf("stream Content-Type = %q, want application/x-ndjson", ct)
 	}
+	cacheHdr := resp.Header.Get("X-Response-Cache")
+	if cacheHdr == "" {
+		t.Error("X-Response-Cache missing from the pre-flush headers of a streamed response")
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("X-Request-Id missing from the pre-flush headers of a streamed response")
+	}
 	var lines []string
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64*1024), 8<<20)
@@ -146,7 +159,14 @@ func readStream(t *testing.T, url, body string) ([]string, string) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	return lines, resp.Header.Get("X-Response-Cache")
+	// The body has been fully drained: any header the handler wrote after
+	// the first flush would surface here as a trailer instead of being
+	// delivered. An empty trailer set proves nothing arrived late.
+	if len(resp.Trailer) != 0 {
+		t.Errorf("streamed response carried %d trailer(s) %v — headers were written after the first flush",
+			len(resp.Trailer), resp.Trailer)
+	}
+	return lines, cacheHdr
 }
 
 // TestStreamedMatchesDocument is the streamed/non-streamed identity

@@ -39,10 +39,15 @@ func (c *cachedResponse) size() int {
 }
 
 // cacheCounters are the exported hybridperf_response_cache_* series the
-// cache maintains.
+// cache maintains. Evictions and expiries are separate series: an
+// eviction means the cache is too small for the working set (capacity
+// pressure, actionable by resizing), an expiry means an entry aged past
+// its TTL (normal decay, actionable only by retuning the TTL). Folding
+// both into one counter made LRU pressure invisible on a TTL-heavy
+// workload.
 type cacheCounters struct {
-	hits, misses, evictions, collapsed *Counter
-	entries                            *Gauge
+	hits, misses, evictions, expired, collapsed *Counter
+	entries                                     *Gauge
 }
 
 // responseCache is an LRU + TTL response cache with singleflight
@@ -101,8 +106,9 @@ const (
 )
 
 // lookup returns the fresh entry for key, promoting it, or nil. The
-// caller holds c.mu. Expired entries are removed and counted as
-// evictions.
+// caller holds c.mu. An expired entry is removed and counted on the
+// expired series — not as an eviction, which is reserved for capacity
+// pressure.
 func (c *responseCache) lookup(key string) *cachedResponse {
 	el, ok := c.entries[key]
 	if !ok {
@@ -110,19 +116,26 @@ func (c *responseCache) lookup(key string) *cachedResponse {
 	}
 	e := el.Value.(*cacheEntry)
 	if !e.expires.IsZero() && c.now().After(e.expires) {
-		c.removeLocked(el)
+		c.dropLocked(el)
+		c.ctr.expired.Inc()
 		return nil
 	}
 	c.lru.MoveToFront(el)
 	return e.resp
 }
 
-func (c *responseCache) removeLocked(el *list.Element) {
+// dropLocked unlinks one entry without attributing a cause; callers
+// count the drop on the series matching why (evictions or expired).
+func (c *responseCache) dropLocked(el *list.Element) {
 	e := el.Value.(*cacheEntry)
 	c.lru.Remove(el)
 	delete(c.entries, e.key)
-	c.ctr.evictions.Inc()
 	c.ctr.entries.Dec()
+}
+
+func (c *responseCache) removeLocked(el *list.Element) {
+	c.dropLocked(el)
+	c.ctr.evictions.Inc()
 }
 
 // store inserts a computed response, evicting from the LRU tail to stay

@@ -15,6 +15,7 @@ func newTestCache(capacity int, ttl time.Duration) *responseCache {
 		hits:      reg.Counter("hits_total", "").With(),
 		misses:    reg.Counter("misses_total", "").With(),
 		evictions: reg.Counter("evictions_total", "").With(),
+		expired:   reg.Counter("expired_total", "").With(),
 		collapsed: reg.Counter("collapsed_total", "").With(),
 		entries:   reg.Gauge("entries", "").With(),
 	}
@@ -74,13 +75,18 @@ func TestCacheLRUEviction(t *testing.T) {
 	if n := c.ctr.evictions.Value(); n < 1 {
 		t.Errorf("evictions = %d, want >= 1", n)
 	}
+	if n := c.ctr.expired.Value(); n != 0 {
+		t.Errorf("expired = %d, want 0 (LRU pressure is not an expiry)", n)
+	}
 	if n := c.ctr.entries.Value(); n != 2 {
 		t.Errorf("entries gauge = %v, want capacity 2", n)
 	}
 }
 
 // TestCacheTTLExpiry advances the injected clock past the TTL and expects
-// a recompute counted as an eviction.
+// a recompute counted on the expired series — and only there: a TTL death
+// must not inflate the evictions counter, which is reserved for capacity
+// pressure.
 func TestCacheTTLExpiry(t *testing.T) {
 	c := newTestCache(4, time.Minute)
 	now := time.Unix(1000, 0)
@@ -98,8 +104,11 @@ func TestCacheTTLExpiry(t *testing.T) {
 	if string(r.body) != "v3" {
 		t.Errorf("recompute served %q, want the fresh value", r.body)
 	}
-	if n := c.ctr.evictions.Value(); n != 1 {
-		t.Errorf("evictions = %d, want 1 (the TTL expiry)", n)
+	if n := c.ctr.expired.Value(); n != 1 {
+		t.Errorf("expired = %d, want 1 (the TTL expiry)", n)
+	}
+	if n := c.ctr.evictions.Value(); n != 0 {
+		t.Errorf("evictions = %d, want 0 (expiry is not capacity pressure)", n)
 	}
 }
 

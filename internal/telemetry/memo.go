@@ -51,17 +51,23 @@ func (m *bodyMemo) get(body []byte) (memoEntry, bool) {
 	return e, ok
 }
 
-// put remembers a validated body. At capacity the memo is cleared
-// wholesale — a generation reset, not an LRU: entries are cheap to
-// rebuild (one decode) and a full clear keeps the hot path to a single
-// map operation.
+// put remembers a validated body. At capacity one arbitrary entry is
+// evicted to make room — entries are cheap to rebuild (one decode), so
+// the memo skips LRU bookkeeping, but it must never forget the whole
+// working set at once: the old wholesale clear dropped every other hot
+// body the moment one new body arrived at capacity, turning a steady
+// mixed workload back into full decodes on the exact requests the memo
+// existed to accelerate.
 func (m *bodyMemo) put(body []byte, e memoEntry) {
 	if len(body) > maxMemoBodyBytes {
 		return
 	}
 	m.mu.Lock()
-	if len(m.entries) >= m.capacity {
-		clear(m.entries)
+	if _, ok := m.entries[string(body)]; !ok && len(m.entries) >= m.capacity {
+		for k := range m.entries {
+			delete(m.entries, k)
+			break
+		}
 	}
 	m.entries[string(body)] = e
 	m.mu.Unlock()

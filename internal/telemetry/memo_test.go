@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMemoEvictsSingleEntry pins the capacity behaviour: inserting one
+// body past capacity evicts exactly one resident entry, not the whole
+// memo. With a working set of capacity+1, exactly capacity bodies must
+// still hit afterwards — the old wholesale clear left only the newest
+// body resident (1 hit), so this fails against that behaviour no matter
+// which entry the map's iteration order sacrifices.
+func TestMemoEvictsSingleEntry(t *testing.T) {
+	const capacity = 4
+	m := newBodyMemo(capacity)
+	bodies := make([][]byte, capacity+1)
+	for i := range bodies {
+		bodies[i] = fmt.Appendf(nil, `{"body":%d}`, i)
+		m.put(bodies[i], memoEntry{key: fmt.Sprintf("key-%d", i)})
+	}
+	hits := 0
+	for i, b := range bodies {
+		e, ok := m.get(b)
+		if !ok {
+			continue
+		}
+		hits++
+		if want := fmt.Sprintf("key-%d", i); e.key != want {
+			t.Errorf("body %d resolved to key %q, want %q", i, e.key, want)
+		}
+	}
+	if hits != capacity {
+		t.Errorf("%d of %d bodies hit after one overflow, want %d (single eviction)",
+			hits, capacity+1, capacity)
+	}
+	if n := len(m.entries); n != capacity {
+		t.Errorf("memo holds %d entries, want capacity %d", n, capacity)
+	}
+}
+
+// TestMemoRefreshDoesNotEvict: re-putting a resident body at capacity
+// must replace in place, not sacrifice a neighbour.
+func TestMemoRefreshDoesNotEvict(t *testing.T) {
+	const capacity = 3
+	m := newBodyMemo(capacity)
+	bodies := make([][]byte, capacity)
+	for i := range bodies {
+		bodies[i] = fmt.Appendf(nil, `{"body":%d}`, i)
+		m.put(bodies[i], memoEntry{key: fmt.Sprintf("key-%d", i)})
+	}
+	m.put(bodies[0], memoEntry{key: "key-0-refreshed"})
+	for i, b := range bodies {
+		e, ok := m.get(b)
+		if !ok {
+			t.Errorf("body %d missing after an in-place refresh", i)
+			continue
+		}
+		if i == 0 && e.key != "key-0-refreshed" {
+			t.Errorf("refreshed body resolved to %q, want the new entry", e.key)
+		}
+	}
+}
+
+// TestMemoOversizedNotStored: bodies past the size bound are never
+// remembered.
+func TestMemoOversizedNotStored(t *testing.T) {
+	m := newBodyMemo(4)
+	huge := make([]byte, maxMemoBodyBytes+1)
+	m.put(huge, memoEntry{key: "huge"})
+	if _, ok := m.get(huge); ok {
+		t.Error("oversized body was memoised")
+	}
+}

@@ -94,6 +94,11 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		start := time.Now()
 		id := fmt.Sprintf("r-%08d", s.seq.Add(1))
 		w.Header().Set("X-Request-Id", id)
+		// A forwarding hop overwrites this with the origin replica's value,
+		// so the client always sees the shard whose cache did the work.
+		if s.self != "" {
+			w.Header().Set(shardHeader, s.self)
+		}
 
 		ann := &annotations{}
 		ctx := context.WithValue(r.Context(), annotationsKey{}, ann)

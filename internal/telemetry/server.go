@@ -20,10 +20,12 @@ import (
 	"time"
 
 	"hybridperf/internal/characterize"
+	"hybridperf/internal/cluster"
 	"hybridperf/internal/core"
 	"hybridperf/internal/exec"
 	"hybridperf/internal/machine"
 	"hybridperf/internal/metrics"
+	"hybridperf/internal/modelstore"
 	"hybridperf/internal/pareto"
 	"hybridperf/internal/workload"
 )
@@ -73,6 +75,14 @@ type Config struct {
 	// deterministic for a fixed seed, so the TTL is about bounding memory
 	// held by stale keys, not staleness of the data.
 	ResponseCacheTTL time.Duration
+	// ModelStore, when non-nil, persists characterisation summaries: every
+	// successful campaign writes a snapshot, and NewServer warm-loads every
+	// snapshot matching this server's seed and model version — so a
+	// restarted (or newly added) replica answers its first predict without
+	// re-running campaigns, bit-identical to the cold path. Snapshot
+	// problems are never fatal: corrupt or stale entries are skipped and
+	// counted on hybridperf_model_store_load_errors_total.
+	ModelStore *modelstore.Store
 }
 
 // Server is the hybridperfd prediction service: models characterised
@@ -112,6 +122,14 @@ type Server struct {
 	systemsBody []byte
 	systemsETag string
 
+	// Cluster state (nil/empty when single-instance): the consistent-hash
+	// ring over the static peer list, this replica's own peer name, and
+	// the client used to forward requests for keys another replica owns.
+	// Set once by SetCluster before serving; read-only afterwards.
+	ring      *cluster.Ring
+	self      string
+	fwdClient *http.Client
+
 	mReq       *CounterVec
 	mDur       *HistogramVec
 	mInflight  *GaugeVec
@@ -121,6 +139,15 @@ type Server struct {
 	mRejected  *CounterVec
 	mCancelled *CounterVec
 	mByEngine  *CounterVec
+
+	// Model store series (nil without a store).
+	mStoreLoads    *Counter
+	mStoreLoadErrs *Counter
+	mStoreWrites   *Counter
+
+	// Cluster series (nil until SetCluster).
+	mForwards    *CounterVec
+	mForwardErrs *CounterVec
 
 	// charTestHook, when non-nil (tests only), runs inside the
 	// characterisation critical section before the campaign, with the
@@ -207,7 +234,9 @@ func NewServer(cfg Config) *Server {
 			misses: s.reg.Counter("hybridperf_response_cache_misses_total",
 				"Requests that computed (and stored) their response.").With(),
 			evictions: s.reg.Counter("hybridperf_response_cache_evictions_total",
-				"Response-cache entries dropped by LRU pressure or TTL expiry.").With(),
+				"Response-cache entries dropped by LRU capacity pressure.").With(),
+			expired: s.reg.Counter("hybridperf_response_cache_expired_total",
+				"Response-cache entries dropped because they aged past the TTL.").With(),
 			collapsed: s.reg.Counter("hybridperf_response_cache_collapsed_total",
 				"Requests collapsed onto an identical in-flight computation (singleflight).").With(),
 			entries: s.reg.Gauge("hybridperf_response_cache_entries",
@@ -219,6 +248,15 @@ func NewServer(cfg Config) *Server {
 		// name one semantic entry, so the memo is sized a few times larger
 		// than the cache it fronts.
 		s.batchMemo = newBodyMemo(4 * cfg.ResponseCache)
+	}
+	if cfg.ModelStore != nil {
+		s.mStoreLoads = s.reg.Counter("hybridperf_model_store_loads_total",
+			"Characterisation snapshots loaded from the model store and adopted into the cache.").With()
+		s.mStoreLoadErrs = s.reg.Counter("hybridperf_model_store_load_errors_total",
+			"Model-store snapshots skipped at load: corrupt, truncated, stale-versioned or unresolvable.").With()
+		s.mStoreWrites = s.reg.Counter("hybridperf_model_store_writes_total",
+			"Characterisation snapshots written to the model store.").With()
+		s.loadModelStore()
 	}
 	// Scrape-time families: latency quantiles interpolated from the route
 	// histograms, then the engine-level counters.
@@ -297,6 +335,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
 			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		if s.ring != nil {
+			fmt.Fprintf(w, "ready shard=%s peers=%d\n", s.self, len(s.ring.Peers()))
 			return
 		}
 		fmt.Fprintln(w, "ready")
@@ -438,6 +480,10 @@ func (s *Server) model(ctx context.Context, key modelKey, engine string, admitte
 			slog.Duration("duration", end.Sub(start)),
 			slog.Uint64("engine_events", delta.Events),
 			slog.Uint64("mpi_messages", delta.Messages))
+		// Persist before publishing: if the process dies between here and
+		// ready, the next boot warm-loads the snapshot instead of losing
+		// the campaign.
+		s.snapshotModel(key, sum)
 		e.prof, e.spec, e.model = prof, spec, m
 		e.ready.Store(true)
 	})
@@ -654,8 +700,12 @@ type predictRequest struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBodyMax(w, r, 1<<20)
+	if !ok {
+		return
+	}
 	var req predictRequest
-	if !decodeJSON(w, r, &req) {
+	if !decodeJSONBytes(w, body, &req) {
 		return
 	}
 	engine, ok := s.engineMode(w, req.Engine)
@@ -663,6 +713,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mByEngine.With("/v1/predict", engine).Inc()
+	if s.forwardIfRemote(w, r, body, req.System, req.Program) {
+		return
+	}
 	// Predicts on a warm model are pure arithmetic and stay unthrottled;
 	// only a predict that must first run a characterisation campaign
 	// competes for an admission slot (claimed by the campaign leader
@@ -712,8 +765,12 @@ type sweepRequest struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBodyMax(w, r, 1<<20)
+	if !ok {
+		return
+	}
 	var req sweepRequest
-	if !decodeJSON(w, r, &req) {
+	if !decodeJSONBytes(w, body, &req) {
 		return
 	}
 	engine, ok := s.engineMode(w, req.Engine)
@@ -721,6 +778,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mByEngine.With("/v1/sweep", engine).Inc()
+	if s.forwardIfRemote(w, r, body, req.System, req.Program) {
+		return
+	}
 	// Coordinates are validated — and defaults resolved — before the
 	// response cache is consulted, so the cache key is canonical (an
 	// explicit max_nodes equal to the testbed size hits the same entry as

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+
+	"hybridperf/internal/characterize"
+	"hybridperf/internal/core"
+	"hybridperf/internal/machine"
+	"hybridperf/internal/modelstore"
+	"hybridperf/internal/workload"
+)
+
+// loadModelStore warm-boots the model cache from Config.ModelStore: every
+// snapshot whose key matches this server's campaign parameters (seed and
+// the default baseline class) is rebuilt into a ready cache entry, so the
+// first request for that (system, program) answers from arithmetic
+// instead of re-running the characterisation campaign. The warm path is
+// bit-identical to the cold one because the snapshot payload is the exact
+// core.Inputs a campaign would produce and core.New is deterministic.
+//
+// Nothing here is fatal. A snapshot the store flags as corrupt or stale,
+// or one naming a system/program this binary no longer knows, or inputs
+// core.New rejects — each is skipped and counted on
+// hybridperf_model_store_load_errors_total; the daemon boots cold for
+// those keys and re-characterises on demand (overwriting the bad file on
+// the next successful campaign).
+//
+// Runs from NewServer only, before any request can race the cache map.
+func (s *Server) loadModelStore() {
+	entries, stats, bad, err := s.cfg.ModelStore.Load()
+	if err != nil {
+		s.mStoreLoadErrs.Inc()
+		s.log.LogAttrs(context.Background(), slog.LevelError, "model store scan failed",
+			slog.String("dir", s.cfg.ModelStore.Dir()), slog.Any("err", err))
+		return
+	}
+	for _, b := range bad {
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "model store snapshot skipped",
+			slog.String("file", b.Path),
+			slog.Bool("stale", b.Stale),
+			slog.String("reason", b.Reason))
+	}
+	s.mStoreLoadErrs.Add(uint64(stats.Corrupt + stats.Stale))
+
+	adopted := 0
+	for _, ent := range entries {
+		if ent.Key.Seed != s.cfg.Seed || ent.Key.BaselineClass != string(defaultBaselineClass()) {
+			// A valid snapshot from a differently-parameterised daemon
+			// (another seed sharing the store directory). Not an error:
+			// leave it for its owner, characterise our own on demand.
+			continue
+		}
+		key := modelKey{system: ent.Key.System, program: ent.Key.Program}
+		if err := s.adoptSnapshot(key, ent.Inputs); err != nil {
+			s.mStoreLoadErrs.Inc()
+			s.log.LogAttrs(context.Background(), slog.LevelWarn, "model store snapshot unusable",
+				slog.String("system", key.system),
+				slog.String("program", key.program),
+				slog.Any("err", err))
+			continue
+		}
+		adopted++
+	}
+	if stats.Loaded > 0 || stats.Corrupt > 0 || stats.Stale > 0 {
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "model store loaded",
+			slog.String("dir", s.cfg.ModelStore.Dir()),
+			slog.Int("adopted", adopted),
+			slog.Int("snapshots", stats.Loaded),
+			slog.Int("corrupt", stats.Corrupt),
+			slog.Int("stale", stats.Stale))
+	}
+}
+
+// adoptSnapshot turns one loaded snapshot into a ready model-cache entry.
+// The entry's sync.Once is burnt so a later Server.model call treats it
+// exactly like a completed campaign and never re-characterises.
+func (s *Server) adoptSnapshot(key modelKey, in core.Inputs) error {
+	prof, err := machine.ByName(key.system)
+	if err != nil {
+		return err
+	}
+	spec, err := workload.ByName(key.program)
+	if err != nil {
+		return err
+	}
+	// Mislabel check the store itself cannot do: the snapshot key is a
+	// catalogue lookup name, the inputs record the canonical profile the
+	// campaign actually characterised. A mismatch means a hand-assembled
+	// or mangled file — reject rather than serve another system's model.
+	if in.System != prof.Name || in.Program != spec.Name {
+		return fmt.Errorf("snapshot inputs characterise %s/%s but key %s/%s resolves to %s/%s",
+			in.System, in.Program, key.system, key.program, prof.Name, spec.Name)
+	}
+	m, err := core.New(in, nil)
+	if err != nil {
+		return err
+	}
+	e := &modelEntry{prof: prof, spec: spec, model: m}
+	e.once.Do(func() {})
+	e.ready.Store(true)
+	s.mu.Lock()
+	s.models[key] = e
+	s.mu.Unlock()
+	s.mModels.With().Inc()
+	s.mStoreLoads.Inc()
+	return nil
+}
+
+// snapshotModel persists one freshly characterised summary; called from
+// the campaign critical section after core.New succeeded. A write failure
+// is logged and otherwise ignored — persistence is an optimisation for
+// the next boot, never a correctness dependency of this one.
+func (s *Server) snapshotModel(key modelKey, sum *characterize.Summary) {
+	if s.cfg.ModelStore == nil {
+		return
+	}
+	skey := modelstore.Key{
+		System:        key.system,
+		Program:       key.program,
+		BaselineClass: string(sum.BaselineClass),
+		BaselineIters: sum.Inputs.BaselineIters,
+		Seed:          s.cfg.Seed,
+	}
+	if err := s.cfg.ModelStore.Put(skey, sum.Inputs); err != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "model store write failed",
+			slog.String("system", key.system),
+			slog.String("program", key.program),
+			slog.Any("err", err))
+		return
+	}
+	s.mStoreWrites.Inc()
+}
+
+// defaultBaselineClass is the baseline class the server's campaigns run
+// (characterize.Options defaulting): snapshots are only adopted when they
+// characterised the same baseline input the cold path would.
+func defaultBaselineClass() workload.Class { return workload.ClassS }

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridperf/internal/modelstore"
+)
+
+// newStoreServer builds a ready server persisting models into dir.
+func newStoreServer(t *testing.T, dir string, seed int64) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{
+		Workers:    2,
+		Seed:       seed,
+		ModelStore: st,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	s.SetReady(true)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// snapshotFiles lists the snapshot payloads the store wrote into dir.
+func snapshotFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestWarmBootServesIdenticalPredictions is the cold-start amnesia fix
+// end to end: a daemon characterises a model and persists the snapshot; a
+// second daemon booted on the same store directory serves its very first
+// prediction for that key byte-identical to the first daemon's — without
+// running a single characterisation campaign.
+func TestWarmBootServesIdenticalPredictions(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}`
+
+	sA, tsA := newStoreServer(t, dir, 42)
+	respA, rawA := postJSON(t, tsA.URL+"/v1/predict", body)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("cold predict status %d: %s", respA.StatusCode, rawA)
+	}
+	if n := sA.mChar.With("xeon", "SP").Value(); n != 1 {
+		t.Fatalf("cold daemon ran %d campaigns, want 1", n)
+	}
+	if n := sA.mStoreWrites.Value(); n != 1 {
+		t.Errorf("hybridperf_model_store_writes_total = %d, want 1", n)
+	}
+	if files := snapshotFiles(t, dir); len(files) != 1 {
+		t.Fatalf("store dir holds %d snapshots, want 1: %v", len(files), files)
+	}
+	tsA.Close()
+
+	sB, tsB := newStoreServer(t, dir, 42)
+	if n := sB.mStoreLoads.Value(); n != 1 {
+		t.Fatalf("hybridperf_model_store_loads_total = %d on the warm boot, want 1", n)
+	}
+	respB, rawB := postJSON(t, tsB.URL+"/v1/predict", body)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("warm predict status %d: %s", respB.StatusCode, rawB)
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Errorf("warm-booted prediction differs from the cold one:\ncold: %s\nwarm: %s", rawA, rawB)
+	}
+	// The warm daemon never characterised: the campaign counter stays flat.
+	if n := sB.mChar.With("xeon", "SP").Value(); n != 0 {
+		t.Errorf("warm daemon ran %d campaigns, want 0 (snapshot should have been adopted)", n)
+	}
+	if n := sB.mStoreLoadErrs.Value(); n != 0 {
+		t.Errorf("hybridperf_model_store_load_errors_total = %d on a clean store, want 0", n)
+	}
+}
+
+// TestWarmBootSkipsTruncatedSnapshot: a snapshot torn mid-write (crash,
+// full disk, manual copy) must not take the daemon down or poison the
+// model cache — it is skipped and counted, and the key re-characterises
+// on demand to the exact same answer.
+func TestWarmBootSkipsTruncatedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"system":"arm","program":"CP","class":"A","nodes":2,"cores":4,"freq_ghz":1.4}`
+
+	_, tsA := newStoreServer(t, dir, 42)
+	respA, rawA := postJSON(t, tsA.URL+"/v1/predict", body)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("cold predict status %d: %s", respA.StatusCode, rawA)
+	}
+	tsA.Close()
+
+	files := snapshotFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("store dir holds %d snapshots, want 1", len(files))
+	}
+	full, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sB, tsB := newStoreServer(t, dir, 42)
+	if n := sB.mStoreLoadErrs.Value(); n != 1 {
+		t.Errorf("hybridperf_model_store_load_errors_total = %d, want 1 (the truncated snapshot)", n)
+	}
+	if n := sB.mStoreLoads.Value(); n != 0 {
+		t.Errorf("hybridperf_model_store_loads_total = %d, want 0", n)
+	}
+	respB, rawB := postJSON(t, tsB.URL+"/v1/predict", body)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("predict after skipped snapshot: status %d: %s", respB.StatusCode, rawB)
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Errorf("re-characterised prediction differs from the original:\nwas: %s\nnow: %s", rawA, rawB)
+	}
+	if n := sB.mChar.With("arm", "CP").Value(); n != 1 {
+		t.Errorf("daemon ran %d campaigns after the skipped snapshot, want 1 (cold path)", n)
+	}
+	// The fresh campaign overwrote the torn file with a good snapshot.
+	if n := sB.mStoreWrites.Value(); n != 1 {
+		t.Errorf("hybridperf_model_store_writes_total = %d, want 1 (repair write)", n)
+	}
+}
+
+// TestWarmBootIgnoresOtherSeed: a snapshot from a differently-seeded
+// daemon sharing the store directory is left alone — adopting it would
+// break the seed-determinism contract — and is not an error.
+func TestWarmBootIgnoresOtherSeed(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"system":"xeon","program":"LB","class":"A","nodes":2,"cores":8,"freq_ghz":1.5}`
+
+	_, tsA := newStoreServer(t, dir, 42)
+	if resp, raw := postJSON(t, tsA.URL+"/v1/predict", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, raw)
+	}
+	tsA.Close()
+
+	sB, tsB := newStoreServer(t, dir, 7)
+	if n := sB.mStoreLoads.Value(); n != 0 {
+		t.Errorf("seed-7 daemon adopted %d seed-42 snapshots, want 0", n)
+	}
+	if n := sB.mStoreLoadErrs.Value(); n != 0 {
+		t.Errorf("foreign-seed snapshot counted as a load error: %d, want 0", n)
+	}
+	if resp, raw := postJSON(t, tsB.URL+"/v1/predict", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed-7 predict status %d: %s", resp.StatusCode, raw)
+	}
+	if n := sB.mChar.With("xeon", "LB").Value(); n != 1 {
+		t.Errorf("seed-7 daemon ran %d campaigns, want 1 (its own cold path)", n)
+	}
+}
