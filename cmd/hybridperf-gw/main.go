@@ -38,6 +38,7 @@ func main() {
 		peers    = flag.String("peers", "", "comma-separated shard base URLs, e.g. http://a:8080,http://b:8080 (required)")
 		logFmt   = flag.String("log", "text", "request log format: text or json")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		traceSmp = flag.Float64("trace-sample", 0, "fraction of traceparent-less requests the gateway samples for distributed tracing; stitched traces at /debug/trace/{traceid} (0 = off)")
 	)
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybridperf-gw: %v\n", err)
 		os.Exit(2)
 	}
+	gw.SetTraceSample(*traceSmp)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -89,6 +89,7 @@ func main() {
 		storeDir = flag.String("model-store", "", "directory for persistent characterisation snapshots; warm-loaded at boot, written after every campaign (empty = no persistence)")
 		peers    = flag.String("peers", "", "comma-separated replica base URLs forming a static cluster, e.g. http://a:8080,http://b:8080 (empty = single instance)")
 		self     = flag.String("self", "", "this replica's own base URL; must be one of -peers")
+		traceSmp = flag.Float64("trace-sample", 0, "fraction of locally originated requests recording a span tree pullable via /debug/trace/{traceid} (0 = off; incoming traceparent headers always win)")
 	)
 	flag.Parse()
 
@@ -134,6 +135,7 @@ func main() {
 		DefaultEngine:    *defEng,
 		ResponseCache:    *cacheSz,
 		ResponseCacheTTL: *cacheTTL,
+		TraceSample:      *traceSmp,
 		ModelStore:       store,
 	})
 

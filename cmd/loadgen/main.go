@@ -116,6 +116,7 @@ func main() {
 		defer resp.Body.Close()
 		if resp.StatusCode >= 400 {
 			io.Copy(io.Discard, resp.Body)
+			logFailedRequest(resp)
 			return resp.StatusCode, nil
 		}
 		if err := readBody(resp.Body); err != nil {
@@ -271,6 +272,23 @@ func main() {
 	if fail > 0 || ok == 0 {
 		os.Exit(1)
 	}
+}
+
+// logFailedRequest names a failed or shed request's request id and trace
+// id (from the server-minted Traceparent), so one grep over any
+// replica's access log — every line carries both — finds the exact
+// handler invocation behind the status. Transport errors never reach
+// here: with no response there are no ids to report.
+func logFailedRequest(resp *http.Response) {
+	traceID := "-"
+	if parts := strings.Split(resp.Header.Get("Traceparent"), "-"); len(parts) == 4 {
+		traceID = parts[1]
+	}
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		id = "-"
+	}
+	log.Printf("request failed: HTTP %d  id=%s  trace=%s", resp.StatusCode, id, traceID)
 }
 
 // enumerateTuples builds a deterministic batch tuple list by walking the

@@ -17,6 +17,7 @@ import (
 	"hybridperf/internal/mpip"
 	"hybridperf/internal/netpipe"
 	"hybridperf/internal/powerbench"
+	"hybridperf/internal/trace"
 	"hybridperf/internal/workload"
 )
 
@@ -52,6 +53,14 @@ type Options struct {
 	// ("baseline sweep", "mpiP run") — the hook external span recorders
 	// attach to. Purely observational.
 	Observe func(label string, start, end time.Time)
+	// PhaseTrace, when non-nil, receives the per-rank phase timeline of
+	// the campaign's designated profiling run — the mpiP run when the
+	// program communicates, the first baseline execution otherwise —
+	// labelled with the program and configuration (see
+	// exec.Request.PhaseSink). Distributed tracing attaches this timeline
+	// to the sampled request that triggered the campaign. Purely
+	// observational: results are bit-identical with or without it.
+	PhaseTrace func(label string, events []trace.Event)
 }
 
 func (o *Options) fill() {
@@ -166,6 +175,11 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 			})
 		}
 	}
+	// A program that never communicates skips the mpiP run below, so its
+	// designated phase-trace run is the first baseline execution instead.
+	if opts.PhaseTrace != nil && spec.MsgsPerIter(opts.ProfileNodes) == 0 && len(reqs) > 0 {
+		reqs[0].PhaseSink = opts.PhaseTrace
+	}
 	sweepStart := time.Now()
 	results, err := exec.Sweep(reqs, opts.Workers)
 	if err != nil {
@@ -214,6 +228,7 @@ func Run(prof *machine.Profile, spec *workload.Spec, opts Options) (*Summary, er
 			Metrics:       opts.Metrics,
 			SharedMetrics: opts.SharedMetrics,
 			Observe:       opts.Observe,
+			PhaseSink:     opts.PhaseTrace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("characterize: mpiP run: %w", err)

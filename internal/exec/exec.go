@@ -87,6 +87,16 @@ type Request struct {
 	// the simulation, so results stay bit-identical.
 	Observe func(label string, start, end time.Time)
 
+	// PhaseSink, when non-nil, receives the run's per-rank phase timeline
+	// after a successful run, labelled with the program and configuration —
+	// even when Trace is false (the recorder is attached either way, but
+	// Result.Trace and MeasuredUCR stay gated on Trace, so existing callers
+	// see identical results). Distributed tracing uses this to attach one
+	// designated run's timeline to a sampled request without changing what
+	// the run returns. Purely observational: recording never feeds back
+	// into the simulation, so results are bit-identical with or without it.
+	PhaseSink func(label string, events []trace.Event)
+
 	// runSpec, when non-nil, replaces req.Spec.Run as the per-rank entry
 	// point — a test seam for injecting per-rank failures, which the
 	// built-in specs cannot produce after upfront validation. The seam is
@@ -212,7 +222,7 @@ func Run(req Request) (*Result, error) {
 	world := mpi.NewWorld(k, sw, nodes)
 
 	var rec *trace.Recorder
-	if req.Trace {
+	if req.Trace || req.PhaseSink != nil {
 		rec = trace.NewRecorder(0)
 		for _, nd := range nodes {
 			nd.SetTrace(rec)
@@ -276,11 +286,14 @@ func Run(req Request) (*Result, error) {
 		Time:    k.Now(),
 		Comm:    world.Profile(),
 		MemWait: nodes[0].MemStats(),
-		Trace:   rec.Events(),
 		Engine:  EngineStats{Engine: engine, Events: k.Events(), Procs: k.Procs()},
 	}
 	if req.Trace {
+		res.Trace = rec.Events()
 		res.MeasuredUCR = trace.UCR(res.Trace)
+	}
+	if req.PhaseSink != nil {
+		req.PhaseSink(fmt.Sprintf("%s %v", req.Spec.Name, req.Cfg), rec.Events())
 	}
 	if mx != nil {
 		// For a shared engine, report this run's contribution as the

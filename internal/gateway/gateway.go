@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -62,9 +63,19 @@ type Gateway struct {
 	reg    *telemetry.Registry
 	start  time.Time
 
+	// sample is the gateway's trace-sampling probability for requests
+	// that arrive without a traceparent (see SetTraceSample); traces
+	// retains this hop's completed payloads for the stitch endpoint.
+	sample float64
+	traces *telemetry.TraceStore
+
 	mReq    *telemetry.CounterVec
 	mFan    *telemetry.CounterVec
 	mFanErr *telemetry.CounterVec
+	mPeerUp *telemetry.GaugeVec
+	mPreds  *telemetry.CounterVec
+	mSimS   *telemetry.FloatCounterVec
+	mEnergy *telemetry.FloatCounterVec
 }
 
 // New builds a gateway over the given shard base URLs (the same list, in
@@ -91,6 +102,20 @@ func New(peers []string, logger *slog.Logger) (*Gateway, error) {
 		"Sub-requests dispatched to shards, by peer.", "peer")
 	g.mFanErr = g.reg.Counter("hybridperf_gateway_fanout_errors_total",
 		"Sub-requests that failed (transport error or non-2xx), by peer.", "peer")
+	g.mPeerUp = g.reg.Gauge("hybridperf_gateway_peer_up",
+		"Last /readyz probe outcome per shard: 1 reachable and healthy, 0 not.", "peer")
+	g.mPreds = g.reg.Counter("hybridperf_gateway_predictions_total",
+		"Predictions relayed to clients through the gateway, by route.", "route")
+	g.mSimS = g.reg.FloatCounter("hybridperf_gateway_simulated_seconds_total",
+		"Predicted application runtime (virtual seconds) summed over relayed predictions, by route.", "route")
+	g.mEnergy = g.reg.FloatCounter("hybridperf_gateway_predicted_energy_joules_total",
+		"Predicted energy (joules) summed over relayed predictions, by route.", "route")
+	g.traces = telemetry.NewTraceStore(0)
+	// Peers start unknown-down until the first probe, so the series exist
+	// (and alert rules have a value) from the first scrape.
+	for _, p := range g.peers {
+		g.mPeerUp.With(p).Set(0)
+	}
 	g.reg.OnScrape(func(w io.Writer) {
 		fmt.Fprintf(w, "# HELP hybridperf_gateway_uptime_seconds Seconds since the gateway started.\n"+
 			"# TYPE hybridperf_gateway_uptime_seconds gauge\nhybridperf_gateway_uptime_seconds %g\n",
@@ -101,6 +126,22 @@ func New(peers []string, logger *slog.Logger) (*Gateway, error) {
 
 // Registry exposes the gateway's metric registry (tests).
 func (g *Gateway) Registry() *telemetry.Registry { return g.reg }
+
+// SetTraceSample sets the fraction of traceparent-less requests the
+// gateway samples (0 = never, 1 = always). An incoming traceparent's
+// sampled flag always wins, exactly as on the shards. Call before
+// serving.
+func (g *Gateway) SetTraceSample(p float64) { g.sample = p }
+
+func (g *Gateway) sampleTrace() bool {
+	if g.sample <= 0 {
+		return false
+	}
+	if g.sample >= 1 {
+		return true
+	}
+	return rand.Float64() < g.sample
+}
 
 // Handler returns the gateway's route table.
 func (g *Gateway) Handler() http.Handler {
@@ -117,25 +158,51 @@ func (g *Gateway) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", g.handleReady)
+	mux.HandleFunc("GET /debug/trace/{traceid}", g.observe("/debug/trace/{traceid}", g.handleTraceByID))
 	return mux
 }
 
-// observe wraps a handler with the request counter and one access-log
-// line — deliberately lighter than the replicas' middleware; deep
-// observability lives where the work happens.
+// observe wraps a handler with the request counter, the trace context
+// (parsed from an incoming traceparent or minted here — the gateway is
+// usually the edge that decides sampling for the whole chain) and one
+// access-log line carrying the request and trace ids. Sampled requests
+// record a span tree whose completed payload lands in the gateway's own
+// trace store, one stitch source among the shards'.
 func (g *Gateway) observe(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tc, fromWire := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader))
+		if fromWire {
+			tc = tc.Child()
+		} else {
+			tc = telemetry.NewTrace(g.sampleTrace())
+		}
+		id := tc.RequestID()
+		w.Header().Set("X-Request-Id", id)
+		w.Header().Set(telemetry.TraceparentHeader, tc.Traceparent())
+		ctx := telemetry.WithTraceContext(r.Context(), tc)
+		var rt *telemetry.RequestTrace
+		if tc.Sampled {
+			rt = telemetry.NewRequestTrace(tc)
+			ctx = telemetry.WithRequestTrace(ctx, rt)
+		}
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r)
+		h(sw, r.WithContext(ctx))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		end := time.Now()
+		if rt != nil {
+			rt.AddSpan("http", r.Method+" "+route, start, end)
+			g.traces.Put(rt.Payload("gateway"))
+		}
 		g.mReq.With(route, strconv.Itoa(sw.status)).Inc()
-		g.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		g.log.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("trace", tc.TraceIDString()),
 			slog.String("route", route),
 			slog.Int("status", sw.status),
-			slog.Duration("duration", time.Since(start)))
+			slog.Duration("duration", end.Sub(start)))
 	}
 }
 
@@ -164,42 +231,66 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
-// handleReady reports ready when at least one shard answers its health
-// probe — a gateway with a fully dead cluster serves nothing but 503s,
-// so it should not attract traffic.
+// handleReady probes every shard's health endpoint and reports the live
+// per-peer picture: a JSON document naming each peer's status (so an
+// operator sees which shard is down, not just how many), with the same
+// outcomes published as the hybridperf_gateway_peer_up gauge. The
+// gateway is ready (200) when at least one shard is — a gateway with a
+// fully dead cluster serves nothing but 503s, so it should not attract
+// traffic.
 func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
 	type probe struct {
-		peer string
-		ok   bool
+		idx int
+		ok  bool
 	}
 	results := make(chan probe, len(g.peers))
-	for _, p := range g.peers {
-		go func(p string) {
+	for i, p := range g.peers {
+		go func(i int, p string) {
 			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, p+"/healthz", nil)
 			if err != nil {
-				results <- probe{p, false}
+				results <- probe{i, false}
 				return
 			}
 			resp, err := g.client.Do(req)
 			if err != nil {
-				results <- probe{p, false}
+				results <- probe{i, false}
 				return
 			}
 			resp.Body.Close()
-			results <- probe{p, resp.StatusCode == http.StatusOK}
-		}(p)
+			results <- probe{i, resp.StatusCode == http.StatusOK}
+		}(i, p)
 	}
+	okByPeer := make([]bool, len(g.peers))
 	up := 0
 	for range g.peers {
-		if (<-results).ok {
+		p := <-results
+		okByPeer[p.idx] = p.ok
+		if p.ok {
 			up++
 		}
 	}
-	if up == 0 {
-		http.Error(w, "no shard reachable", http.StatusServiceUnavailable)
-		return
+	type peerStatus struct {
+		Peer string `json:"peer"`
+		Up   bool   `json:"up"`
 	}
-	fmt.Fprintf(w, "ready shards=%d/%d\n", up, len(g.peers))
+	doc := struct {
+		Ready bool         `json:"ready"`
+		Up    int          `json:"up"`
+		Peers []peerStatus `json:"peers"`
+	}{Ready: up > 0, Up: up, Peers: make([]peerStatus, len(g.peers))}
+	for i, p := range g.peers {
+		doc.Peers[i] = peerStatus{Peer: p, Up: okByPeer[i]}
+		var v int64
+		if okByPeer[i] {
+			v = 1
+		}
+		g.mPeerUp.With(p).Set(v)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if up == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(doc)
 }
 
 // ---------------------------------------------------------------------
@@ -339,6 +430,15 @@ func (g *Gateway) post(r *http.Request, peer, path string, body []byte, stream b
 	if stream {
 		req.Header.Set("Accept", "application/x-ndjson")
 	}
+	// Each fan-out leg is one hop of the request's trace: same trace id
+	// and sampling decision, a fresh span id — so a sampled request
+	// through the gateway samples on every shard it touches, and the
+	// stitch endpoint can collect all their payloads under one id.
+	if tc, ok := telemetry.TraceContextFrom(r.Context()); ok {
+		req.Header.Set(telemetry.TraceparentHeader, tc.Child().Traceparent())
+	}
+	endFan := telemetry.RequestTraceFrom(r.Context()).Span("gateway", "fanout "+peer+path)
+	defer endFan()
 	g.mFan.With(peer).Inc()
 	resp, err := g.client.Do(req)
 	if err != nil {
@@ -389,6 +489,13 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for _, peer := range g.ring.Order(cluster.ModelKey(req.System, req.Program)) {
 		out, err := g.post(r, peer, "/v1/predict", body.Bytes(), false)
 		if err == nil {
+			var pred struct {
+				TimeS   float64 `json:"time_s"`
+				EnergyJ float64 `json:"energy_j"`
+			}
+			if json.Unmarshal(out, &pred) == nil {
+				g.applyAttribution(w, "/v1/predict", 1, pred.TimeS, pred.EnergyJ)
+			}
 			w.Header().Set("Content-Type", "application/json")
 			w.Write(out)
 			return
@@ -459,6 +566,8 @@ type mergedResult struct {
 	nodes   int
 	cores   int
 	freqGHz float64
+	timeS   float64
+	energyJ float64
 }
 
 func (a mergedResult) less(b mergedResult) bool {
@@ -488,6 +597,8 @@ func parseResults(raw []json.RawMessage) ([]mergedResult, error) {
 				Cores   int     `json:"cores"`
 				FreqGHz float64 `json:"freq_ghz"`
 			} `json:"config"`
+			TimeS   float64 `json:"time_s"`
+			EnergyJ float64 `json:"energy_j"`
 		}
 		if err := json.Unmarshal(frag, &meta); err != nil {
 			return nil, fmt.Errorf("result %d: %w", i, err)
@@ -495,6 +606,7 @@ func parseResults(raw []json.RawMessage) ([]mergedResult, error) {
 		out[i] = mergedResult{
 			raw: frag, system: meta.System, program: meta.Program,
 			nodes: meta.Config.Nodes, cores: meta.Config.Cores, freqGHz: meta.Config.FreqGHz,
+			timeS: meta.TimeS, energyJ: meta.EnergyJ,
 		}
 	}
 	return out, nil
@@ -616,8 +728,11 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	frags := make([][]byte, len(merged))
+	var simS, energyJ float64
 	for i, m := range merged {
 		frags[i] = m.raw
+		simS += m.timeS
+		energyJ += m.energyJ
 	}
 	sum := mustJSON(struct {
 		Class       string       `json:"class"`
@@ -625,6 +740,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Groups      int          `json:"groups"`
 		ShardErrors []shardError `json:"shard_errors,omitempty"`
 	}{class, len(merged), groups, shardErrs})
+	g.applyAttribution(w, "/v1/batch", len(merged), simS, energyJ)
 	writeSpliced(w, r, sum, "results", "result", frags)
 }
 
@@ -797,9 +913,14 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	frags := make([][]byte, len(front))
+	var simS, energyJ float64
 	for i, p := range front {
-		frags[i] = mustJSON(wireByCfg[p.Cfg])
+		pj := wireByCfg[p.Cfg]
+		frags[i] = mustJSON(pj)
+		simS += pj.TimeS
+		energyJ += pj.EnergyJ
 	}
+	g.applyAttribution(w, "/v1/sweep", len(front), simS, energyJ)
 	writeSpliced(w, r, mustJSON(sum), "frontier", "point", frags)
 }
 

@@ -69,6 +69,11 @@ type batchResultJSON struct {
 // (claimed by the cache-flight leader), and identical concurrent requests
 // collapse to a single evaluation.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rt := RequestTraceFrom(r.Context())
+	var tDecode time.Time
+	if rt != nil {
+		tDecode = time.Now()
+	}
 	body, ok := readBodyMax(w, r, maxBatchBodyBytes)
 	if !ok {
 		return
@@ -89,7 +94,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					slog.String("engine", m.engine),
 					slog.Int("tuples", m.tuples),
 					slog.Int("unique", m.unique))
-				s.writeCached(w, r, resp, cacheHit)
+				if rt != nil {
+					rt.AddSpan("handler", "cache-lookup", tDecode, time.Now())
+				}
+				s.writeCached(w, r, "/v1/batch", m.engine, resp, cacheHit)
 				return
 			}
 		}
@@ -98,6 +106,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !decodeJSONBytes(w, body, &req) {
 		return
+	}
+	if rt != nil {
+		rt.AddSpan("handler", "decode", tDecode, time.Now())
 	}
 	engine, ok := s.engineMode(w, req.Engine)
 	if !ok {
@@ -190,7 +201,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			unique: len(canon),
 		})
 	}
-	s.respondCached(w, r, "/v1/batch", key, func() (*cachedResponse, error) {
+	s.respondCached(w, r, "/v1/batch", engine, key, func() (*cachedResponse, error) {
 		release, ok := s.acquire()
 		if !ok {
 			return nil, fmt.Errorf("batch: %w", errSaturated)
@@ -201,9 +212,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		tEval := time.Now()
 		s.spans.Observe("model", fmt.Sprintf("batch %d tuples (%d groups)", len(canon), groups),
-			t0, time.Now(), map[string]any{"id": requestID(r.Context())})
-		return buildBatchResponse(class, groups, results), nil
+			t0, tEval, map[string]any{"id": requestID(r.Context())})
+		if rt != nil {
+			rt.AddSpan("model", fmt.Sprintf("evaluate batch (%d tuples, %d groups)", len(canon), groups), t0, tEval)
+		}
+		endRender := rt.Span("handler", "render")
+		resp := buildBatchResponse(class, groups, results)
+		endRender()
+		return resp, nil
 	})
 }
 
@@ -267,7 +285,16 @@ func buildBatchResponse(class string, groups int, results []batchResultJSON) *ca
 		Count  int    `json:"count"`
 		Groups int    `json:"groups"`
 	}{class, len(results), groups})
-	return spliceResponse(sum, "results", "result", marshalEach(results))
+	resp := spliceResponse(sum, "results", "result", marshalEach(results))
+	var simS, energyJ float64
+	for i := range results {
+		simS += results[i].TimeS
+		energyJ += results[i].EnergyJ
+	}
+	// Attribution sums the results in canonical order, so a client summing
+	// the body it received reproduces the header values float-exactly.
+	resp.attr = makeAttribution(len(results), simS, energyJ)
+	return resp
 }
 
 // marshalEach renders one JSON fragment per element.

@@ -28,6 +28,11 @@ const maxCacheEntryBytes = 4 << 20
 type cachedResponse struct {
 	body  []byte   // full JSON document, trailing newline included
 	lines [][]byte // NDJSON lines (no newlines): data lines, then one summary line
+
+	// attr is the response's cost attribution, computed (and its header
+	// strings formatted) once at build time so cache hits replay it
+	// without touching the body.
+	attr attribution
 }
 
 func (c *cachedResponse) size() int {

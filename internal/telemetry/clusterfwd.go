@@ -36,6 +36,16 @@ const forwardedHeader = "X-Hybridperf-Forwarded"
 // the work, not the one that proxied it.
 const shardHeader = "X-Hybridperf-Shard"
 
+// forwardRequestHeaders is the allowlist of client request headers a
+// replica-to-replica forward copies through. Forwards are deliberate
+// re-requests, not transparent proxies: only headers that change what
+// the owner computes (Content-Type, Accept → body shape) or how the hop
+// is observed (the trace context) propagate; cookies, auth material and
+// conditional-request headers stop at the first replica. The traceparent
+// is set from this hop's own trace context — a fresh child span id under
+// the originating trace id — not copied from the client's raw header.
+var forwardRequestHeaders = []string{"Content-Type", "Accept"}
+
 // SetCluster makes this server one replica of a statically configured
 // cluster: self must be one of peers (the replica's own advertised URL),
 // and every peer must agree on the peer list for ownership to be
@@ -112,9 +122,13 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, body []byte, ow
 		s.mForwardErrs.With(owner).Inc()
 		return false
 	}
-	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
-	if accept := r.Header.Get("Accept"); accept != "" {
-		req.Header.Set("Accept", accept)
+	for _, k := range forwardRequestHeaders {
+		if v := r.Header.Get(k); v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	if tc, ok := traceContextFor(r.Context()); ok {
+		req.Header.Set(TraceparentHeader, tc.Child().Traceparent())
 	}
 	req.Header.Set(forwardedHeader, s.self)
 	resp, err := s.fwdClient.Do(req)
@@ -131,7 +145,11 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, body []byte, ow
 	annotate(r.Context(), slog.String("forwarded_to", owner))
 	hdr := w.Header()
 	for k, vv := range resp.Header {
-		if k == "X-Request-Id" { // keep the local id so logs correlate
+		// Keep this hop's own identity headers: the local request id and
+		// traceparent (same trace id, this hop's span id) already point at
+		// this replica's log line; the owner's values would overwrite the
+		// correlation without adding one.
+		if k == "X-Request-Id" || k == TraceparentHeader {
 			continue
 		}
 		hdr.Del(k)

@@ -11,6 +11,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,6 +32,27 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing counter carrying a float
+// total (simulated seconds, predicted joules) — lock-free via
+// compare-and-swap on the float's bit pattern, so it can sit on the
+// serving path next to the integer counters.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates v (must be >= 0 to keep the series monotonic; the
+// attribution sums it carries are non-negative by construction).
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
 
 // Gauge is a service-level gauge (in-flight requests, cached models).
 type Gauge struct{ v atomic.Int64 }
@@ -127,10 +149,20 @@ var DefBuckets = []float64{
 type metricKind string
 
 const (
-	kindCounter   metricKind = "counter"
-	kindGauge     metricKind = "gauge"
-	kindHistogram metricKind = "histogram"
+	kindCounter      metricKind = "counter"
+	kindFloatCounter metricKind = "floatcounter" // renders as TYPE counter
+	kindGauge        metricKind = "gauge"
+	kindHistogram    metricKind = "histogram"
 )
+
+// typeText maps a kind to its exposition TYPE token (float counters are
+// an implementation detail, not a Prometheus type).
+func (k metricKind) typeText() string {
+	if k == kindFloatCounter {
+		return string(kindCounter)
+	}
+	return string(k)
+}
 
 // family is one named metric with its labelled series.
 type family struct {
@@ -164,6 +196,8 @@ func (f *family) get(values []string) any {
 	switch f.kind {
 	case kindCounter:
 		m = &Counter{}
+	case kindFloatCounter:
+		m = &FloatCounter{}
 	case kindGauge:
 		m = &Gauge{}
 	case kindHistogram:
@@ -178,6 +212,14 @@ type CounterVec struct{ f *family }
 
 // With returns the counter for the given label values.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).(*Counter) }
+
+// FloatCounterVec is a float counter family keyed by label values.
+type FloatCounterVec struct{ f *family }
+
+// With returns the float counter for the given label values.
+func (v *FloatCounterVec) With(values ...string) *FloatCounter {
+	return v.f.get(values).(*FloatCounter)
+}
 
 // GaugeVec is a gauge family keyed by label values.
 type GaugeVec struct{ f *family }
@@ -241,6 +283,12 @@ func (r *Registry) register(name, help string, kind metricKind, bounds []float64
 // Counter registers a counter family.
 func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
 	return &CounterVec{r.register(name, help, kindCounter, nil, labels)}
+}
+
+// FloatCounter registers a counter family carrying float totals
+// (exposed as TYPE counter).
+func (r *Registry) FloatCounter(name, help string, labels ...string) *FloatCounterVec {
+	return &FloatCounterVec{r.register(name, help, kindFloatCounter, nil, labels)}
 }
 
 // Gauge registers a gauge family. With no labels, the single series is
@@ -326,7 +374,7 @@ func (r *Registry) WriteText(w io.Writer) {
 		if len(keys) == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind.typeText())
 		for i, k := range keys {
 			var values []string
 			if k != "" || len(f.labels) > 0 {
@@ -335,6 +383,8 @@ func (r *Registry) WriteText(w io.Writer) {
 			switch m := snap[i].(type) {
 			case *Counter:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(f.labels, values, ""), m.Value())
+			case *FloatCounter:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labels, values, ""), formatFloat(m.Value()))
 			case *Gauge:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(f.labels, values, ""), m.Value())
 			case *Histogram:

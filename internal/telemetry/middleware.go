@@ -45,10 +45,18 @@ func (sw *statusWriter) Flush() {
 
 // annotations carries the model coordinates a handler attaches to its
 // request so the access-log line can report them (program, system, class,
-// config) without the middleware knowing any route's schema.
+// config) without the middleware knowing any route's schema. It doubles
+// as the request's identity carrier — id, trace context, cost
+// attribution — so the hot path pays for one context value instead of
+// three (each context.WithValue is an allocation, plus one boxing the
+// value; the cache-hit path logs all of this on every request).
 type annotations struct {
+	id string       // set once by instrument, immutable after
+	tc TraceContext // this hop's trace context
+
 	mu    sync.Mutex
 	attrs []slog.Attr
+	attr  attribution
 }
 
 type annotationsKey struct{}
@@ -69,19 +77,38 @@ func annotate(ctx context.Context, attrs ...slog.Attr) {
 // requestID returns the id assigned to the request by instrument, "" if
 // none.
 func requestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
+	a, _ := ctx.Value(annotationsKey{}).(*annotations)
+	if a == nil {
+		return ""
+	}
+	return a.id
 }
 
-type requestIDKey struct{}
+// traceContextFor returns the hop's trace context: from the carrier for
+// requests that passed instrument, falling back to an explicitly
+// attached one (WithTraceContext) for everything else.
+func traceContextFor(ctx context.Context) (TraceContext, bool) {
+	if a, ok := ctx.Value(annotationsKey{}).(*annotations); ok {
+		return a.tc, true
+	}
+	return TraceContextFrom(ctx)
+}
 
-// instrument wraps a handler with the full observability stack: a
-// generated request id (also returned as X-Request-Id), the in-flight
-// gauge, per-route request counting and latency observation, a recorded
-// span, panic recovery (500 + stack log instead of a dead connection),
-// the optional per-request deadline, cancellation accounting, and one
-// structured access-log line carrying whatever coordinates the handler
-// annotated.
+// instrument wraps a handler with the full observability stack: the
+// trace context (parsed from an incoming traceparent or minted here,
+// with X-Request-Id derived from it), the in-flight gauge, per-route
+// request counting and latency observation, a recorded span, panic
+// recovery (500 + stack log instead of a dead connection), the optional
+// per-request deadline, cancellation accounting, and one structured
+// access-log line carrying whatever coordinates the handler annotated.
+//
+// Tracing: an incoming traceparent wins — its trace id and sampled flag
+// propagate, this hop just mints its own span id — so the edge that
+// minted the trace decides sampling for the whole chain. Requests
+// without one mint a fresh context, sampled per Config.TraceSample.
+// Sampled requests carry a RequestTrace in their context; handlers
+// record child spans into it and the completed payload lands in the
+// trace store, pullable via GET /debug/trace/{traceid}.
 //
 // The /metrics route is exempt from the in-flight gauge: a scrape would
 // otherwise always observe itself as one in-flight request, so the gauge
@@ -92,17 +119,28 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	applyTimeout := s.cfg.RequestTimeout > 0 && route != "/debug/trace"
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := fmt.Sprintf("r-%08d", s.seq.Add(1))
+		tc, fromWire := ParseTraceparent(r.Header.Get(TraceparentHeader))
+		if fromWire {
+			tc = tc.Child()
+		} else {
+			tc = NewTrace(s.sampleTrace())
+		}
+		tp, id := tc.Wire()
 		w.Header().Set("X-Request-Id", id)
+		w.Header().Set(TraceparentHeader, tp)
 		// A forwarding hop overwrites this with the origin replica's value,
 		// so the client always sees the shard whose cache did the work.
 		if s.self != "" {
 			w.Header().Set(shardHeader, s.self)
 		}
 
-		ann := &annotations{}
+		ann := &annotations{id: id, tc: tc}
 		ctx := context.WithValue(r.Context(), annotationsKey{}, ann)
-		ctx = context.WithValue(ctx, requestIDKey{}, id)
+		var rt *RequestTrace
+		if tc.Sampled {
+			rt = NewRequestTrace(tc)
+			ctx = WithRequestTrace(ctx, rt)
+		}
 		if applyTimeout {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -150,15 +188,31 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			s.spans.Observe("http", r.Method+" "+route, start, end, map[string]any{
 				"id": id, "status": sw.status,
 			})
+			if rt != nil {
+				// The root span closes last, so every child nests inside it
+				// in the stitched view; then the payload becomes pullable.
+				rt.AddSpan("http", r.Method+" "+route, start, end)
+				s.traces.Put(rt.Payload(s.traceSource()))
+			}
 			ann.mu.Lock()
-			attrs := append([]slog.Attr{
+			attrs := make([]slog.Attr, 0, 10+len(ann.attrs))
+			attrs = append(attrs,
 				slog.String("id", id),
+				// The request id embeds the trace id (r-<trace>.<span>);
+				// slicing it avoids re-rendering the hex per request.
+				slog.String("trace", id[2:34]),
 				slog.String("route", route),
 				slog.String("method", r.Method),
 				slog.Int("status", sw.status),
 				slog.Int64("bytes", sw.bytes),
-				slog.Duration("duration", dur),
-			}, ann.attrs...)
+				slog.Duration("duration", dur))
+			if ann.attr.predsStr != "" {
+				attrs = append(attrs,
+					slog.String("predictions", ann.attr.predsStr),
+					slog.String("sim_s", ann.attr.simStr),
+					slog.String("energy_j", ann.attr.energyStr))
+			}
+			attrs = append(attrs, ann.attrs...)
 			ann.mu.Unlock()
 			level := slog.LevelInfo
 			if sw.status >= 500 {

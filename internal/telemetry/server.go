@@ -75,6 +75,13 @@ type Config struct {
 	// deterministic for a fixed seed, so the TTL is about bounding memory
 	// held by stale keys, not staleness of the data.
 	ResponseCacheTTL time.Duration
+	// TraceSample is the fraction of locally originated requests that
+	// record a request-scoped span tree (0 = never, the default; 1 =
+	// always). Requests arriving with a traceparent header inherit the
+	// sender's sampling decision instead — the edge that minted the trace
+	// controls the whole chain. Sampling is purely observational: sampled
+	// and unsampled responses are byte-identical.
+	TraceSample float64
 	// ModelStore, when non-nil, persists characterisation summaries: every
 	// successful campaign writes a snapshot, and NewServer warm-loads every
 	// snapshot matching this server's seed and model version — so a
@@ -98,7 +105,14 @@ type Server struct {
 	spans     *Spans
 	start     time.Time
 	ready     atomic.Bool
-	seq       atomic.Uint64
+
+	// traces retains completed sampled request traces for the
+	// GET /debug/trace/{traceid} pull endpoint.
+	traces *TraceStore
+
+	// attrib pre-resolves the per-(route, engine) cost-attribution series
+	// so the serving path records them without a label lookup.
+	attrib map[string]map[string]attribSeries
 
 	mu     sync.Mutex
 	models map[modelKey]*modelEntry
@@ -224,6 +238,30 @@ func NewServer(cfg Config) *Server {
 		"Requests whose context ended before completion, by route and reason (disconnect or timeout).", "route", "reason")
 	s.mByEngine = s.reg.Counter("hybridperf_requests_by_engine_total",
 		"Model-serving requests by route and resolved simulation engine.", "route", "engine")
+	s.traces = NewTraceStore(0)
+	// Cost attribution: every model-serving response reports how much
+	// simulated work it carried; these aggregate the same numbers the
+	// response headers expose. Series are pre-resolved here — routes and
+	// engines are both static — so the hot path records them map-lookup
+	// cheap and allocation free.
+	mPreds := s.reg.Counter("hybridperf_predictions_served_total",
+		"Predictions returned to clients, by route and simulation engine.", "route", "engine")
+	mSimS := s.reg.FloatCounter("hybridperf_simulated_seconds_total",
+		"Predicted application runtime (virtual seconds) summed over all served predictions, by route and engine.", "route", "engine")
+	mEnergy := s.reg.FloatCounter("hybridperf_predicted_energy_joules_total",
+		"Predicted energy (joules) summed over all served predictions, by route and engine.", "route", "engine")
+	s.attrib = make(map[string]map[string]attribSeries, 3)
+	for _, route := range []string{"/v1/predict", "/v1/batch", "/v1/sweep"} {
+		byEngine := make(map[string]attribSeries, len(engines))
+		for _, e := range exec.Engines() {
+			byEngine[e] = attribSeries{
+				preds:  mPreds.With(route, e),
+				simS:   mSimS.With(route, e),
+				energy: mEnergy.With(route, e),
+			}
+		}
+		s.attrib[route] = byEngine
+	}
 	// In-flight starts existing so the gauge appears on the first scrape.
 	s.mInflight.With().Set(0)
 	s.mModels.With().Set(0)
@@ -329,6 +367,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/systems", s.instrument("/v1/systems", s.handleSystems))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/trace", s.instrument("/debug/trace", s.handleDebugTrace))
+	mux.HandleFunc("GET /debug/trace/{traceid}", s.instrument("/debug/trace/{traceid}", s.handleTraceByID))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -448,16 +487,24 @@ func (s *Server) model(ctx context.Context, key modelKey, engine string, admitte
 			}
 		}
 		eng := s.engines[engine]
-		start := time.Now()
-		pre := eng.Snapshot()
-		sum, err := characterize.Run(prof, spec, characterize.Options{
+		rt := RequestTraceFrom(ctx)
+		// Only a sampled request asks the campaign to deliver its per-rank
+		// phase timeline: the hook forces the engine to record events, so
+		// leaving it nil keeps unsampled campaigns on the exact cold path.
+		opts := characterize.Options{
 			Seed:          s.cfg.Seed,
 			Workers:       s.cfg.Workers,
 			Engine:        engine,
 			Ctx:           ctx,
 			SharedMetrics: eng,
 			Observe:       s.spans.Observer("exec"),
-		})
+		}
+		if rt != nil {
+			opts.PhaseTrace = rt.AttachPhases
+		}
+		start := time.Now()
+		pre := eng.Snapshot()
+		sum, err := characterize.Run(prof, spec, opts)
 		if err != nil {
 			e.err = fmt.Errorf("characterize %s/%s: %w", key.system, key.program, err)
 			return
@@ -471,6 +518,10 @@ func (s *Server) model(ctx context.Context, key modelKey, engine string, admitte
 		s.spans.Observe("model", fmt.Sprintf("characterize %s/%s", key.system, key.program),
 			start, end, nil)
 		delta := eng.Snapshot().Sub(pre)
+		if rt != nil {
+			rt.AddSpan("model", fmt.Sprintf("characterize %s/%s", key.system, key.program), start, end)
+		}
+		annotate(ctx, slog.Uint64("engine_events", delta.Events))
 		s.mChar.With(key.system, key.program).Inc()
 		s.mModels.With().Inc()
 		s.log.LogAttrs(context.Background(), slog.LevelInfo, "characterized",
@@ -700,6 +751,11 @@ type predictRequest struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	rt := RequestTraceFrom(r.Context())
+	var tDecode time.Time
+	if rt != nil {
+		tDecode = time.Now()
+	}
 	body, ok := readBodyMax(w, r, 1<<20)
 	if !ok {
 		return
@@ -707,6 +763,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
 	if !decodeJSONBytes(w, body, &req) {
 		return
+	}
+	if rt != nil {
+		rt.AddSpan("handler", "decode", tDecode, time.Now())
 	}
 	engine, ok := s.engineMode(w, req.Engine)
 	if !ok {
@@ -740,15 +799,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "prediction rejected: %v", err)
 		return
 	}
+	tPred := time.Now()
 	s.spans.Observe("model", fmt.Sprintf("predict %s/%s %v", req.System, req.Program, cfg),
-		t0, time.Now(), map[string]any{"id": requestID(r.Context())})
+		t0, tPred, map[string]any{"id": requestID(r.Context())})
+	if rt != nil {
+		rt.AddSpan("model", fmt.Sprintf("predict %s/%s", req.System, req.Program), t0, tPred)
+	}
+	pj := toPredictionJSON(pred)
+	s.applyAttribution(w, r, "/v1/predict", engine, makeAttribution(1, pj.TimeS, pj.EnergyJ))
+	endRender := rt.Span("handler", "render")
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
 		System  string `json:"system"`
 		Program string `json:"program"`
 		Class   string `json:"class"`
 		predictionJSON
-	}{req.System, req.Program, string(class), toPredictionJSON(pred)})
+	}{req.System, req.Program, string(class), pj})
+	endRender()
 }
 
 // sweepRequest is the /v1/sweep body.
@@ -765,6 +832,11 @@ type sweepRequest struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	rt := RequestTraceFrom(r.Context())
+	var tDecode time.Time
+	if rt != nil {
+		tDecode = time.Now()
+	}
 	body, ok := readBodyMax(w, r, 1<<20)
 	if !ok {
 		return
@@ -772,6 +844,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
 	if !decodeJSONBytes(w, body, &req) {
 		return
+	}
+	if rt != nil {
+		rt.AddSpan("handler", "decode", tDecode, time.Now())
 	}
 	engine, ok := s.engineMode(w, req.Engine)
 	if !ok {
@@ -827,7 +902,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		slog.Int("workers", workers))
 
 	key := sweepCacheKey(req.System, req.Program, class, maxNodes, req.Pow2, req.DeadlineS, req.BudgetJ)
-	s.respondCached(w, r, "/v1/sweep", key, func() (*cachedResponse, error) {
+	s.respondCached(w, r, "/v1/sweep", engine, key, func() (*cachedResponse, error) {
 		// Sweeps always count against the campaign budget: even on a warm
 		// model a full-space evaluation is the heavy path. The flight
 		// leader's slot covers the whole computation, including a cold
@@ -855,9 +930,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return nil, fmt.Errorf("sweep failed: %w", err)
 		}
 		front := pareto.Frontier(points)
+		tEval := time.Now()
 		s.spans.Observe("model", fmt.Sprintf("sweep %s/%s (%d cfgs)", req.System, req.Program, len(cfgs)),
-			t0, time.Now(), map[string]any{"id": requestID(r.Context())})
-		return buildSweepResponse(req.System, req.Program, class, len(cfgs), front, points, req.DeadlineS, req.BudgetJ), nil
+			t0, tEval, map[string]any{"id": requestID(r.Context())})
+		if rt != nil {
+			rt.AddSpan("model", fmt.Sprintf("evaluate %s/%s (%d cfgs)", req.System, req.Program, len(cfgs)), t0, tEval)
+		}
+		endRender := rt.Span("handler", "render")
+		resp := buildSweepResponse(req.System, req.Program, class, len(cfgs), front, points, req.DeadlineS, req.BudgetJ)
+		endRender()
+		return resp, nil
 	})
 }
 
@@ -894,10 +976,17 @@ func buildSweepResponse(system, program, class string, configs int, front, point
 		}
 	}
 	frontier := make([]predictionJSON, len(front))
+	var simS, energyJ float64
 	for i, p := range front {
 		frontier[i] = toPredictionJSON(p.Pred)
+		simS += frontier[i].TimeS
+		energyJ += frontier[i].EnergyJ
 	}
-	return spliceResponse(mustJSON(sum), "frontier", "point", marshalEach(frontier))
+	resp := spliceResponse(mustJSON(sum), "frontier", "point", marshalEach(frontier))
+	// Attribution covers what the body carries: the frontier points, in
+	// canonical order, so header sums equal a client's sum over the body.
+	resp.attr = makeAttribution(len(frontier), simS, energyJ)
+	return resp
 }
 
 // handleSystems serves the static capability document. It is rendered

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // streamFlushEvery is how many NDJSON lines are written between two
@@ -52,10 +53,13 @@ func (s *Server) cachedDo(ctx context.Context, key string, compute func() (*cach
 // client asked for: the canonical JSON document, or its NDJSON line
 // sequence with periodic flushes (and an early stop once the client is
 // gone). The cache status is surfaced as X-Response-Cache and annotated
-// onto the access-log line.
-func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, resp *cachedResponse, status cacheStatus) {
+// onto the access-log line, and the response's stored cost attribution is
+// stamped on — identically whether the body was just computed or replayed
+// from the cache.
+func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, route, engine string, resp *cachedResponse, status cacheStatus) {
 	annotate(r.Context(), slog.String("cache", string(status)))
 	w.Header().Set("X-Response-Cache", string(status))
+	s.applyAttribution(w, r, route, engine, resp.attr)
 	if !wantStream(r) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(resp.body)
@@ -85,7 +89,8 @@ func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, resp *cache
 // /v1/batch): run compute through the cache, map compute errors to the
 // same statuses the uncached paths used (429 shed, 503 interrupted, 500
 // otherwise), and serve the answer in the requested shape.
-func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route, key string, compute func() (*cachedResponse, error)) {
+func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route, engine, key string, compute func() (*cachedResponse, error)) {
+	lookup := time.Now()
 	resp, status, err := s.cachedDo(r.Context(), key, compute)
 	if err != nil {
 		annotate(r.Context(), slog.String("cache", string(status)))
@@ -99,5 +104,14 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, route, ke
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.writeCached(w, r, resp, status)
+	// A hit (or a collapse onto someone else's compute) is pure cache
+	// time from this request's point of view; on a miss the compute
+	// closure records its own characterize/evaluate/render children over
+	// the same interval instead.
+	if status == cacheHit || status == cacheCollapsed {
+		if rt := RequestTraceFrom(r.Context()); rt != nil {
+			rt.AddSpan("handler", "cache-lookup", lookup, time.Now())
+		}
+	}
+	s.writeCached(w, r, route, engine, resp, status)
 }

@@ -1,0 +1,187 @@
+package telemetry
+
+// W3C-style trace context: one trace id minted at the edge (gateway or
+// first daemon), a fresh span id per hop, and a sampled flag deciding
+// whether the hop records a request-scoped span tree. The wire form is
+// the traceparent header (version 00 only):
+//
+//	00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+//
+// X-Request-Id derives from the trace context ("r-<trace>.<span>"), so
+// grepping any replica's access log for the trace id finds every hop of
+// a request — the per-hop span id keeps the ids themselves distinct.
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// TraceparentHeader is the propagation header name (http.Header
+// canonicalises the W3C's lowercase "traceparent" to this form; lookups
+// are case-insensitive either way).
+const TraceparentHeader = "Traceparent"
+
+// TraceContext identifies one hop of one distributed request.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Sampled bool
+}
+
+// idPrefix is 8 random bytes drawn once per process; ids are the XOR of
+// the prefix with a monotonic counter, so they are unique within a
+// process by construction and collide across processes only if two
+// 64-bit random prefixes align — without paying a crypto/rand read per
+// request.
+var (
+	idPrefix  [8]byte
+	idCounter atomic.Uint64
+)
+
+func init() {
+	if _, err := crand.Read(idPrefix[:]); err != nil {
+		// An unreadable entropy source leaves ids process-locally unique
+		// (the counter still advances); tracing degrades, serving doesn't.
+		copy(idPrefix[:], "hybridpf")
+	}
+	var seed [8]byte
+	crand.Read(seed[:])
+	idCounter.Store(binary.BigEndian.Uint64(seed[:]))
+}
+
+func nextID8() (b [8]byte) {
+	binary.BigEndian.PutUint64(b[:], idCounter.Add(1))
+	for i := range b {
+		b[i] ^= idPrefix[i]
+	}
+	return b
+}
+
+// NewTrace mints a fresh trace context — a new trace id and root span id.
+func NewTrace(sampled bool) TraceContext {
+	tc := TraceContext{Sampled: sampled}
+	hi, lo := nextID8(), nextID8()
+	copy(tc.TraceID[:8], hi[:])
+	copy(tc.TraceID[8:], lo[:])
+	tc.SpanID = nextID8()
+	// The all-zero trace id and span id are invalid on the wire; the XOR
+	// construction can (astronomically rarely) produce them.
+	tc.TraceID[15] |= ensureNonZero(tc.TraceID[:])
+	tc.SpanID[7] |= ensureNonZero(tc.SpanID[:])
+	return tc
+}
+
+func ensureNonZero(b []byte) byte {
+	for _, v := range b {
+		if v != 0 {
+			return 0
+		}
+	}
+	return 1
+}
+
+// Child returns this trace with a fresh span id: the context one hop (a
+// cluster forward, a gateway fan-out leg) propagates downstream. The
+// trace id and the sampling decision ride along unchanged.
+func (tc TraceContext) Child() TraceContext {
+	tc.SpanID = nextID8()
+	tc.SpanID[7] |= ensureNonZero(tc.SpanID[:])
+	return tc
+}
+
+// Traceparent renders the wire form.
+func (tc TraceContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], tc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], tc.SpanID[:])
+	b[52], b[53], b[54] = '-', '0', '0'
+	if tc.Sampled {
+		b[54] = '1'
+	}
+	return string(b[:])
+}
+
+// TraceIDString renders the 32-hex trace id — the value logs carry and
+// /debug/trace/{traceid} is keyed by.
+func (tc TraceContext) TraceIDString() string {
+	var b [32]byte
+	hex.Encode(b[:], tc.TraceID[:])
+	return string(b[:])
+}
+
+// RequestID derives the per-hop X-Request-Id: the full trace id (so one
+// grep correlates every replica's log line of a request) plus this hop's
+// span id (so each hop's id stays distinct).
+func (tc TraceContext) RequestID() string {
+	var b [51]byte
+	b[0], b[1] = 'r', '-'
+	hex.Encode(b[2:34], tc.TraceID[:])
+	b[34] = '.'
+	hex.Encode(b[35:51], tc.SpanID[:])
+	return string(b[:])
+}
+
+// Wire renders the traceparent and the derived request id backed by one
+// string — the middleware sets both on every response, and a single
+// allocation halves the hot path's minting cost.
+func (tc TraceContext) Wire() (traceparent, requestID string) {
+	var b [106]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], tc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], tc.SpanID[:])
+	b[52], b[53], b[54] = '-', '0', '0'
+	if tc.Sampled {
+		b[54] = '1'
+	}
+	b[55], b[56] = 'r', '-'
+	copy(b[57:89], b[3:35])
+	b[89] = '.'
+	copy(b[90:106], b[36:52])
+	s := string(b[:])
+	return s[:55], s[55:]
+}
+
+// ParseTraceparent decodes an incoming traceparent header. Only the
+// version-00 fixed form is accepted; anything else (including the
+// invalid all-zero ids) reports false and the receiver mints a fresh
+// context instead.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	var tc TraceContext
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(s[36:52])); err != nil {
+		return tc, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return tc, false
+	}
+	if ensureNonZero(tc.TraceID[:]) != 0 || ensureNonZero(tc.SpanID[:]) != 0 {
+		return tc, false
+	}
+	tc.Sampled = flags[0]&1 != 0
+	return tc, true
+}
+
+type traceCtxKey struct{}
+
+// WithTraceContext attaches the hop's trace context to a request context.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom returns the hop's trace context, if one is attached.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

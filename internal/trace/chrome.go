@@ -151,3 +151,77 @@ func WriteChromeSpans(w io.Writer, spans []Span) error {
 	}
 	return json.NewEncoder(w).Encode(out)
 }
+
+// ProcessTrace is one process's lane group in a stitched multi-process
+// export: the wall-clock spans one hop (gateway or shard) recorded for a
+// request, plus optionally an engine phase timeline that hop attached.
+// Phase times are virtual seconds starting at zero; PhaseOffset places
+// them on the shared wall-clock axis (typically the start of the
+// characterisation span that produced them), so the engine lane renders
+// inside the span that paid for it.
+type ProcessTrace struct {
+	Name        string
+	Spans       []Span
+	Phases      []Event
+	PhaseOffset float64 // seconds since the window origin
+}
+
+// WriteChromeProcesses writes a stitched multi-process Chrome-trace JSON
+// object: each ProcessTrace becomes one pid (named by a process_name
+// metadata row) whose span lanes come first and whose engine phase
+// timeline, if any, renders as per-rank rows after them — every process
+// on one shared time axis. This is the gateway's stitched
+// /debug/trace/{traceid} export: one trace id, gateway fan-out spans,
+// per-shard handler spans and the sampled engine run, in one file.
+func WriteChromeProcesses(w io.Writer, procs []ProcessTrace) error {
+	const usPerSec = 1e6
+	out := chromeFile{DisplayTimeUnit: "ms"}
+	for pid, p := range procs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		lanes := assignLanes(p.Spans)
+		spanLanes := 0
+		for i, s := range p.Spans {
+			if lanes[i]+1 > spanLanes {
+				spanLanes = lanes[i] + 1
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "X",
+				Ts: s.Start * usPerSec, Dur: (s.End - s.Start) * usPerSec,
+				Pid: pid, Tid: lanes[i], Args: s.Args,
+			})
+		}
+		if len(p.Phases) == 0 {
+			continue
+		}
+		ranks := map[int]bool{}
+		for _, e := range p.Phases {
+			ranks[e.Rank] = true
+		}
+		var ids []int
+		for r := range ranks {
+			ids = append(ids, r)
+		}
+		sort.Ints(ids)
+		tidByRank := make(map[int]int, len(ids))
+		for i, r := range ids {
+			tid := spanLanes + i
+			tidByRank[r] = tid
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			})
+		}
+		for _, e := range p.Phases {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Kind.String(), Cat: "phase", Ph: "X",
+				Ts:  (p.PhaseOffset + e.Start) * usPerSec,
+				Dur: e.Duration() * usPerSec,
+				Pid: pid, Tid: tidByRank[e.Rank],
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -49,6 +49,21 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// ParseKind maps a Kind's String() form back to the Kind — the inverse
+// used when phase timelines round-trip through a wire format (the
+// distributed-trace payloads carry kinds by name).
+func ParseKind(s string) (Kind, bool) {
+	switch s {
+	case "compute":
+		return Compute, true
+	case "network":
+		return Network, true
+	case "memstall":
+		return MemStall, true
+	}
+	return 0, false
+}
+
 // Event is one phase of one rank.
 type Event struct {
 	Rank       int
