@@ -3,15 +3,19 @@
 // class, n, c, f) point, POST /v1/batch for many tuples vectorised
 // through the sweep engine (one model resolution per (system, program)
 // group), POST /v1/sweep for a configuration-space sweep returning the
-// time-energy Pareto frontier, GET /v1/systems for the available
+// time-energy Pareto frontier, POST /v1/advise for the online DVFS
+// advisory plane (the governor policy suite simulated from the static
+// Pareto point, each policy's frequency schedule and energy/makespan
+// delta reported, the best within the -advise-slowdown tolerance
+// recommended), GET /v1/systems for the available
 // profiles (ETag/If-None-Match revalidation). Models are characterised
 // lazily per (system, program) pair — with a fixed seed, so two daemons
 // serve bit-identical predictions — and cached for the process lifetime.
 //
-// Sweep and batch answers pass an LRU response cache keyed on the
-// canonicalised request (-response-cache-size / -response-cache-ttl);
+// Sweep, batch and advise answers pass an LRU response cache keyed on
+// the canonicalised request (-response-cache-size / -response-cache-ttl);
 // identical concurrent requests collapse onto a single computation.
-// Both endpoints stream NDJSON instead of one JSON document when the
+// These endpoints stream NDJSON instead of one JSON document when the
 // client asks (Accept: application/x-ndjson or ?stream=1).
 //
 // Heavy work (characterisation campaigns, sweep/batch evaluations)
@@ -90,11 +94,16 @@ func main() {
 		peers    = flag.String("peers", "", "comma-separated replica base URLs forming a static cluster, e.g. http://a:8080,http://b:8080 (empty = single instance)")
 		self     = flag.String("self", "", "this replica's own base URL; must be one of -peers")
 		traceSmp = flag.Float64("trace-sample", 0, "fraction of locally originated requests recording a span tree pullable via /debug/trace/{traceid} (0 = off; incoming traceparent headers always win)")
+		advSlow  = flag.Float64("advise-slowdown", 0, "default /v1/advise makespan tolerance as a fraction in (0,1), e.g. 0.05 = 5% (0 = 0.05)")
 	)
 	flag.Parse()
 
 	if err := exec.ValidateEngine(*defEng); err != nil {
 		fmt.Fprintf(os.Stderr, "hybridperfd: bad -default-engine: %v\n", err)
+		os.Exit(2)
+	}
+	if *advSlow < 0 || *advSlow >= 1 {
+		fmt.Fprintf(os.Stderr, "hybridperfd: bad -advise-slowdown %g (want a fraction in (0,1))\n", *advSlow)
 		os.Exit(2)
 	}
 
@@ -126,17 +135,18 @@ func main() {
 	}
 
 	srv := telemetry.NewServer(telemetry.Config{
-		Workers:          *workers,
-		Seed:             *seed,
-		Logger:           logger,
-		SpanCapacity:     *spanCap,
-		MaxCampaigns:     *maxCamp,
-		RequestTimeout:   *reqTO,
-		DefaultEngine:    *defEng,
-		ResponseCache:    *cacheSz,
-		ResponseCacheTTL: *cacheTTL,
-		TraceSample:      *traceSmp,
-		ModelStore:       store,
+		Workers:           *workers,
+		Seed:              *seed,
+		Logger:            logger,
+		SpanCapacity:      *spanCap,
+		MaxCampaigns:      *maxCamp,
+		RequestTimeout:    *reqTO,
+		DefaultEngine:     *defEng,
+		ResponseCache:     *cacheSz,
+		ResponseCacheTTL:  *cacheTTL,
+		TraceSample:       *traceSmp,
+		ModelStore:        store,
+		AdviseMaxSlowdown: *advSlow,
 	})
 
 	if (*peers == "") != (*self == "") {

@@ -14,6 +14,9 @@
 //     alongside request latency.
 //   - stream: the batch body with ?stream=1 — each response is read as
 //     NDJSON to completion and must end with a summary line.
+//   - advise: POST {-system, -program, -class} to /v1/advise and require
+//     a recommended governor policy in every answer — soaks the governed
+//     DVFS simulation path (cold the first time, cached after).
 //
 // Usage:
 //
@@ -47,10 +50,10 @@ func main() {
 		baseURL     = flag.String("url", "http://127.0.0.1:8080", "server base URL")
 		route       = flag.String("route", "/v1/predict", "route to hit (mode single)")
 		body        = flag.String("body", `{"system":"xeon","program":"SP","class":"A","nodes":4,"cores":8,"freq_ghz":1.8}`, "JSON request body (POST); empty = GET (mode single)")
-		mode        = flag.String("mode", "single", "request shape: single, batch or stream")
-		system      = flag.String("system", "xeon", "system whose configuration grid feeds batch/stream bodies")
-		program     = flag.String("program", "SP", "program(s) named in batch/stream tuples, comma-separated (each adds one full grid)")
-		class       = flag.String("class", "A", "workload class for batch/stream tuples")
+		mode        = flag.String("mode", "single", "request shape: single, batch, stream or advise")
+		system      = flag.String("system", "xeon", "system whose configuration grid feeds batch/stream bodies (and the advise target)")
+		program     = flag.String("program", "SP", "program(s) named in batch/stream tuples, comma-separated (each adds one full grid); advise uses the first")
+		class       = flag.String("class", "A", "workload class for batch/stream/advise requests")
 		tuples      = flag.Int("tuples", 256, "tuples per batch/stream request (capped at the combined grid size of -program)")
 		duration    = flag.Duration("duration", 5*time.Second, "how long to generate load")
 		concurrency = flag.Int("concurrency", 4, "concurrent workers")
@@ -96,8 +99,18 @@ func main() {
 			readBody = readNDJSON
 		}
 		log.Printf("mode %s: %d tuples/request against %s/%s class %s", *mode, len(ts), *system, *program, *class)
+	case "advise":
+		first := strings.TrimSpace(strings.Split(*program, ",")[0])
+		b, err := json.Marshal(map[string]any{"system": *system, "program": first, "class": *class})
+		if err != nil {
+			log.Fatalf("marshalling advise body: %v", err)
+		}
+		reqBody = b
+		url = *baseURL + "/v1/advise"
+		readBody = readAdvice
+		log.Printf("mode advise: %s/%s class %s", *system, first, *class)
 	default:
-		log.Fatalf("bad -mode %q (want single, batch or stream)", *mode)
+		log.Fatalf("bad -mode %q (want single, batch, stream or advise)", *mode)
 	}
 
 	do := func() (int, error) {
@@ -344,6 +357,22 @@ func enumerateTuples(client *http.Client, baseURL, system string, programs []str
 		return out, nil
 	}
 	return nil, fmt.Errorf("system %q not in /v1/systems", system)
+}
+
+// readAdvice validates an advisory answer's shape: a response without a
+// recommended policy is a malformed success, counted as a failure rather
+// than inflating the ok column.
+func readAdvice(r io.Reader) error {
+	var doc struct {
+		Recommended string `json:"recommended"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("decoding advise response: %w", err)
+	}
+	if doc.Recommended == "" {
+		return errors.New("advise response has no recommended policy")
+	}
+	return nil
 }
 
 // readNDJSON consumes a streamed batch response, requiring at least one

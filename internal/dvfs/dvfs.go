@@ -10,6 +10,7 @@ package dvfs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -45,10 +46,12 @@ type InterNodeSlack struct {
 	lastDur     float64
 	steppedDown bool
 	hold        int
+	err         error
 }
 
 // NewInterNodeSlack creates the governor for a node's DVFS levels
-// (ascending). Zero thresholds default to 0.25/0.05; the makespan guard
+// (ascending). Zero thresholds default to 0.25/0.05; both must lie in
+// (0, 1] — they are fractions of an iteration. The makespan guard
 // defaults to 1.05 with an 8-iteration hold.
 func NewInterNodeSlack(levels []float64, down, up float64) (*InterNodeSlack, error) {
 	if len(levels) == 0 {
@@ -63,6 +66,12 @@ func NewInterNodeSlack(levels []float64, down, up float64) (*InterNodeSlack, err
 	if up == 0 {
 		up = 0.05
 	}
+	if !(down > 0 && down <= 1) { // also catches NaN
+		return nil, fmt.Errorf("dvfs: DownThreshold %g must be in (0,1]", down)
+	}
+	if !(up > 0 && up <= 1) {
+		return nil, fmt.Errorf("dvfs: UpThreshold %g must be in (0,1]", up)
+	}
 	if up >= down {
 		return nil, fmt.Errorf("dvfs: UpThreshold %g must be below DownThreshold %g", up, down)
 	}
@@ -75,11 +84,34 @@ func NewInterNodeSlack(levels []float64, down, up float64) (*InterNodeSlack, err
 	}, nil
 }
 
-// AfterIteration implements Governor.
+// AfterIteration implements Governor. It is total in the same spirit as
+// queueing.ClampedMG1Wait: a non-finite or negative duration is an invalid
+// sample and is ignored outright (state, including the makespan guard's
+// lastDur, is untouched); a non-finite netWaitFrac is treated as 0 and a
+// finite one is clamped into [0,1]; a non-finite or non-positive current
+// frequency snaps to the highest level (fail-safe: never slower than
+// asked). An off-grid current is held unchanged and recorded — see Err.
 func (g *InterNodeSlack) AfterIteration(_ int, duration, netWaitFrac, current float64) float64 {
+	if !finitePos(current) {
+		return g.levels[len(g.levels)-1]
+	}
+	if !finiteNonNeg(duration) {
+		return current
+	}
+	if !(netWaitFrac >= 0) { // also catches NaN
+		netWaitFrac = 0
+	} else if netWaitFrac > 1 {
+		netWaitFrac = 1
+	}
+	idx, ok := g.levelIndex(current)
+	if !ok {
+		if g.err == nil {
+			g.err = fmt.Errorf("dvfs: frequency %g Hz is not on the level grid %v", current, g.levels)
+		}
+		return current
+	}
 	prevDur := g.lastDur
 	g.lastDur = duration
-	idx := g.levelIndex(current)
 
 	if g.hold > 0 {
 		g.hold--
@@ -108,8 +140,22 @@ func (g *InterNodeSlack) AfterIteration(_ int, duration, netWaitFrac, current fl
 	return current
 }
 
-// levelIndex returns the index of the closest level to f.
-func (g *InterNodeSlack) levelIndex(f float64) int {
+// Err reports the first invalid frequency this governor was handed: a
+// current frequency off the level grid (beyond gridTolerance). The
+// governor holds the frequency unchanged in that case rather than
+// silently snapping to the closest level; callers that drive it from an
+// external frequency source should check Err after the run.
+func (g *InterNodeSlack) Err() error { return g.err }
+
+// gridTolerance is the relative slop levelIndex accepts when matching a
+// frequency against the level grid. Frequencies come from the same
+// profile grid the governor was built from, so matches are exact in
+// practice; the tolerance only absorbs benign formatting round-trips.
+const gridTolerance = 1e-9
+
+// levelIndex returns the index of the level matching f, or ok=false when
+// f is off the grid (no level within gridTolerance, relatively).
+func (g *InterNodeSlack) levelIndex(f float64) (int, bool) {
 	best, bestD := 0, -1.0
 	for i, l := range g.levels {
 		d := l - f
@@ -120,8 +166,21 @@ func (g *InterNodeSlack) levelIndex(f float64) int {
 			best, bestD = i, d
 		}
 	}
-	return best
+	scale := math.Abs(g.levels[best])
+	if scale < 1 {
+		scale = 1
+	}
+	return best, bestD <= gridTolerance*scale
 }
+
+// finite reports whether x is a finite number.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// finitePos reports whether x is a finite, strictly positive number.
+func finitePos(x float64) bool { return x > 0 && !math.IsInf(x, 1) }
+
+// finiteNonNeg reports whether x is a finite, non-negative number.
+func finiteNonNeg(x float64) bool { return x >= 0 && !math.IsInf(x, 1) }
 
 // Fixed is a governor that pins a constant frequency — the degenerate
 // baseline, useful in tests and comparisons.

@@ -1,6 +1,10 @@
 package dvfs
 
-import "testing"
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
 
 var levels = []float64{0.2e9, 0.5e9, 0.8e9, 1.1e9, 1.4e9}
 
@@ -71,6 +75,98 @@ func TestNewValidation(t *testing.T) {
 	}
 	if g.DownThreshold != 0.25 || g.UpThreshold != 0.05 {
 		t.Fatalf("defaults not applied: %+v", g)
+	}
+}
+
+func TestNewValidationThresholdRange(t *testing.T) {
+	cases := []struct{ down, up float64 }{
+		{1.5, 0.05},         // down > 1
+		{0.25, -0.1},        // negative up
+		{-0.25, 0.05},       // negative down
+		{math.NaN(), 0.05},  // NaN down
+		{0.25, math.NaN()},  // NaN up
+		{math.Inf(1), 0.05}, // infinite down
+		{2, 1.5},            // both out of range
+	}
+	for _, c := range cases {
+		if _, err := NewInterNodeSlack(levels, c.down, c.up); err == nil {
+			t.Errorf("thresholds (%g, %g) accepted, want error", c.down, c.up)
+		}
+	}
+	// The boundary down = 1 is legal: "step down only when the whole
+	// iteration was network wait".
+	if _, err := NewInterNodeSlack(levels, 1, 0.05); err != nil {
+		t.Errorf("down = 1 rejected: %v", err)
+	}
+}
+
+func TestOffGridFrequencySurfacesError(t *testing.T) {
+	g := mustGov(t)
+	if got := g.AfterIteration(0, 1, 0.6, 3.0e9); got != 3.0e9 {
+		t.Fatalf("off-grid frequency was snapped to %g, want held at 3e9", got)
+	}
+	if g.Err() == nil {
+		t.Fatal("off-grid frequency did not surface an error")
+	}
+	// On-grid operation never sets the error.
+	g2 := mustGov(t)
+	g2.AfterIteration(0, 1, 0.6, 1.4e9)
+	if g2.Err() != nil {
+		t.Fatalf("on-grid frequency surfaced error: %v", g2.Err())
+	}
+}
+
+// TestAfterIterationTotal is the quick.Check property test of the bugfix:
+// AfterIteration must be total — for any inputs, including NaN, ±Inf and
+// negatives, it returns a finite positive frequency (a grid level, or the
+// held current when current is a finite off-grid value), and an invalid
+// duration must not poison the makespan guard's lastDur.
+func TestAfterIterationTotal(t *testing.T) {
+	// Derive adversarial floats from small uints so NaN/Inf/negatives are
+	// all exercised, like queueing's TestClampedMG1WaitTotal.
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, -1e300, 0, 1e-9, 0.5, 1, 2, 1e300}
+	pick := func(b uint8, scale float64) float64 {
+		if int(b)%2 == 0 {
+			return specials[int(b/2)%len(specials)]
+		}
+		return float64(b) * scale
+	}
+	g := mustGov(t)
+	prop := func(it uint8, db, fb, cb uint8) bool {
+		dur := pick(db, 0.01)
+		frac := pick(fb, 0.005)
+		cur := pick(cb, 1e7)
+		got := g.AfterIteration(int(it), dur, frac, cur)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Logf("AfterIteration(%d, %g, %g, %g) = %g", it, dur, frac, cur, got)
+			return false
+		}
+		// lastDur may only ever hold a valid sample.
+		if !(g.lastDur >= 0) || math.IsInf(g.lastDur, 1) {
+			t.Logf("lastDur poisoned to %g by duration %g", g.lastDur, dur)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidDurationKeepsMakespanGuard(t *testing.T) {
+	g := mustGov(t)
+	// Step down at iteration 0 with a 1 s iteration.
+	if f := g.AfterIteration(0, 1.0, 0.6, 1.4e9); f != 1.1e9 {
+		t.Fatalf("no down-step: %g", f)
+	}
+	// A NaN duration arrives (poisoned sample): ignored entirely.
+	if f := g.AfterIteration(1, math.NaN(), 0.6, 1.1e9); f != 1.1e9 {
+		t.Fatalf("invalid sample changed the level to %g", f)
+	}
+	// The next valid iteration is 20% longer: the guard must still
+	// compare against the pre-poison duration and revert.
+	if f := g.AfterIteration(2, 1.2, 0.6, 1.1e9); f != 1.4e9 {
+		t.Fatalf("makespan guard lost across invalid sample; got %g", f)
 	}
 }
 

@@ -1,0 +1,141 @@
+package dvfs
+
+import "fmt"
+
+// PhaseSample is one iteration's observed phase mix on a rank's node, in
+// seconds of virtual time: the same Compute / MemStall / Network split the
+// per-rank phase trace (internal/trace) records, read from the master
+// core's counters at the iteration boundary.
+type PhaseSample struct {
+	Compute  float64 // executing work + non-memory pipeline stalls [s]
+	MemStall float64 // waiting on memory [s]
+	NetWait  float64 // blocked on network communication [s]
+}
+
+func (s PhaseSample) valid() bool {
+	return finiteNonNeg(s.Compute) && finiteNonNeg(s.MemStall) && finiteNonNeg(s.NetWait)
+}
+
+// PhaseAware is implemented by governors that refine their decisions from
+// per-iteration phase observations. Both workload engines call
+// ObservePhases at each iteration boundary, immediately before
+// AfterIteration, with the master core's counter deltas over the finished
+// iteration. Governors that do not implement it see no change.
+type PhaseAware interface {
+	Governor
+	ObservePhases(iter int, s PhaseSample)
+}
+
+// PhasePredictive schedules the next iteration's frequency from the
+// observed phase mix, in the spirit of the energy-minimisation-under-a-
+// performance-constraint runtime systems of the related work (Kappiah et
+// al.; "Minimizing Energy Consumption of MPI Programs in Realistic
+// Environment", arXiv:1502.06733): compute time scales roughly with 1/f
+// while memory stalls and network waits are frequency-invariant, so the
+// governor picks the lowest DVFS level whose predicted iteration time
+// stays within MaxSlowdown of the top level's.
+//
+// The phase-mix estimate is an EWMA over the iterations seen so far. It
+// can be seeded with a prior — typically the per-rank phase summary of a
+// probe run recorded through exec.Request.PhaseSink — so the very first
+// governed iteration already runs at the predicted-optimal level instead
+// of the starting frequency.
+type PhasePredictive struct {
+	levels      []float64
+	MaxSlowdown float64 // tolerated predicted slowdown vs the top level
+	Alpha       float64 // EWMA weight of the newest sample
+
+	cycles  float64 // EWMA compute cycles per iteration
+	fixed   float64 // EWMA frequency-invariant seconds per iteration
+	seeded  bool
+	pending PhaseSample
+	hasPend bool
+}
+
+// NewPhasePredictive creates the governor for a node's DVFS levels
+// (ascending). observedAt is the frequency [Hz] at which prior was
+// measured; pass observedAt = 0 to start without a prior (the governor
+// then holds the current frequency until it has observed an iteration).
+// A zero maxSlowdown defaults to 0.05; it must lie in (0, 1).
+func NewPhasePredictive(levels []float64, observedAt float64, prior PhaseSample, maxSlowdown float64) (*PhasePredictive, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("dvfs: no DVFS levels")
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] < levels[i-1] {
+			return nil, fmt.Errorf("dvfs: levels must be ascending")
+		}
+	}
+	if maxSlowdown == 0 {
+		maxSlowdown = 0.05
+	}
+	if !(maxSlowdown > 0 && maxSlowdown < 1) { // also catches NaN
+		return nil, fmt.Errorf("dvfs: MaxSlowdown %g must be in (0,1)", maxSlowdown)
+	}
+	g := &PhasePredictive{
+		levels:      append([]float64(nil), levels...),
+		MaxSlowdown: maxSlowdown,
+		Alpha:       0.3,
+	}
+	if observedAt != 0 {
+		if !(observedAt > 0) || !finite(observedAt) {
+			return nil, fmt.Errorf("dvfs: prior frequency %g Hz must be finite and positive", observedAt)
+		}
+		if !prior.valid() {
+			return nil, fmt.Errorf("dvfs: prior phase sample %+v must be finite and non-negative", prior)
+		}
+		g.cycles = prior.Compute * observedAt
+		g.fixed = prior.MemStall + prior.NetWait
+		g.seeded = true
+	}
+	return g, nil
+}
+
+// ObservePhases implements PhaseAware. Invalid samples (non-finite or
+// negative components) are ignored. The sample is folded into the EWMA by
+// the following AfterIteration call, which knows the frequency the
+// iteration ran at.
+func (g *PhasePredictive) ObservePhases(_ int, s PhaseSample) {
+	if !s.valid() {
+		return
+	}
+	g.pending = s
+	g.hasPend = true
+}
+
+// AfterIteration implements Governor. It is total: invalid inputs leave
+// the estimate untouched, and a non-finite or non-positive current
+// frequency snaps to the highest level (fail-safe, matching
+// InterNodeSlack).
+func (g *PhasePredictive) AfterIteration(_ int, _ float64, _ float64, current float64) float64 {
+	if !finitePos(current) {
+		return g.levels[len(g.levels)-1]
+	}
+	if g.hasPend {
+		g.hasPend = false
+		cycles := g.pending.Compute * current
+		fixed := g.pending.MemStall + g.pending.NetWait
+		// The product can overflow to +Inf for absurd inputs; skip the
+		// fold rather than poison the EWMA.
+		if finite(cycles) && finite(fixed) {
+			if g.seeded {
+				g.cycles += g.Alpha * (cycles - g.cycles)
+				g.fixed += g.Alpha * (fixed - g.fixed)
+			} else {
+				g.cycles, g.fixed = cycles, fixed
+				g.seeded = true
+			}
+		}
+	}
+	if !g.seeded {
+		return current
+	}
+	top := g.levels[len(g.levels)-1]
+	budget := (g.cycles/top + g.fixed) * (1 + g.MaxSlowdown)
+	for _, f := range g.levels {
+		if g.cycles/f+g.fixed <= budget {
+			return f
+		}
+	}
+	return top
+}

@@ -1,0 +1,186 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustPhase(t *testing.T, observedAt float64, prior PhaseSample) *PhasePredictive {
+	t.Helper()
+	g, err := NewPhasePredictive(levels, observedAt, prior, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPhasePredictiveValidation(t *testing.T) {
+	if _, err := NewPhasePredictive(nil, 0, PhaseSample{}, 0.05); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := NewPhasePredictive([]float64{2e9, 1e9}, 0, PhaseSample{}, 0.05); err == nil {
+		t.Error("unsorted levels accepted")
+	}
+	if _, err := NewPhasePredictive(levels, 0, PhaseSample{}, 1.5); err == nil {
+		t.Error("MaxSlowdown > 1 accepted")
+	}
+	if _, err := NewPhasePredictive(levels, 0, PhaseSample{}, math.NaN()); err == nil {
+		t.Error("NaN MaxSlowdown accepted")
+	}
+	if _, err := NewPhasePredictive(levels, math.Inf(1), PhaseSample{Compute: 1}, 0.05); err == nil {
+		t.Error("infinite prior frequency accepted")
+	}
+	if _, err := NewPhasePredictive(levels, 1.4e9, PhaseSample{Compute: math.NaN()}, 0.05); err == nil {
+		t.Error("NaN prior sample accepted")
+	}
+	g, err := NewPhasePredictive(levels, 0, PhaseSample{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxSlowdown != 0.05 {
+		t.Fatalf("default MaxSlowdown not applied: %g", g.MaxSlowdown)
+	}
+}
+
+func TestPhasePredictiveHoldsWithoutEstimate(t *testing.T) {
+	g := mustPhase(t, 0, PhaseSample{})
+	if got := g.AfterIteration(0, 1, 0.5, 1.1e9); got != 1.1e9 {
+		t.Fatalf("unseeded governor moved the level to %g", got)
+	}
+}
+
+func TestPhasePredictiveComputeBoundStaysHigh(t *testing.T) {
+	// Pure compute at the top level: any down-step slows the iteration by
+	// the frequency ratio (0.2/1.4 would be 7x), far past 5%. Stay at top.
+	g := mustPhase(t, 1.4e9, PhaseSample{Compute: 1.0})
+	if got := g.AfterIteration(0, 1, 0, 1.4e9); got != 1.4e9 {
+		t.Fatalf("compute-bound phase mix stepped down to %g", got)
+	}
+}
+
+func TestPhasePredictiveMemoryBoundDropsToFloor(t *testing.T) {
+	// 99.9% memory stall: compute time is negligible, so even the floor
+	// level's 7x compute stretch stays under the 5% tolerance.
+	g := mustPhase(t, 1.4e9, PhaseSample{Compute: 0.001, MemStall: 0.999})
+	if got := g.AfterIteration(0, 1, 0, 1.4e9); got != 0.2e9 {
+		t.Fatalf("memory-bound phase mix picked %g, want the floor", got)
+	}
+}
+
+func TestPhasePredictivePicksIntermediateLevel(t *testing.T) {
+	// 90/10 fixed/compute at 1.4 GHz: predicted time at level f is
+	// 0.1*1.4e9/f + 0.9 against a budget of 1.05. 0.8 GHz gives 1.075
+	// (infeasible), 1.1 GHz gives 1.027 (feasible) — the governor must
+	// pick exactly 1.1 GHz, the lowest feasible level.
+	g := mustPhase(t, 1.4e9, PhaseSample{Compute: 0.1, NetWait: 0.9})
+	if got := g.AfterIteration(0, 1, 0, 1.4e9); got != 1.1e9 {
+		t.Fatalf("picked %g, want the lowest feasible level 1.1e9", got)
+	}
+}
+
+func TestPhasePredictiveLearnsOnline(t *testing.T) {
+	// Unseeded governor observes memory-bound iterations and converges to
+	// a lower level.
+	g := mustPhase(t, 0, PhaseSample{})
+	f := 1.4e9
+	for i := 0; i < 5; i++ {
+		g.ObservePhases(i, PhaseSample{Compute: 0.01, MemStall: 0.99})
+		f = g.AfterIteration(i, 1, 0, f)
+	}
+	if f != 0.2e9 {
+		t.Fatalf("online learning settled at %g, want the floor", f)
+	}
+	// Workload turns compute-bound: the EWMA adapts back up.
+	for i := 5; i < 30; i++ {
+		g.ObservePhases(i, PhaseSample{Compute: 1.0})
+		f = g.AfterIteration(i, 1, 0, f)
+	}
+	if f != 1.4e9 {
+		t.Fatalf("EWMA did not adapt to a compute-bound shift; at %g", f)
+	}
+}
+
+func TestPhasePredictiveIgnoresInvalidSamples(t *testing.T) {
+	g := mustPhase(t, 1.4e9, PhaseSample{Compute: 1.0})
+	g.ObservePhases(0, PhaseSample{Compute: math.NaN()})
+	g.ObservePhases(0, PhaseSample{MemStall: -1})
+	if got := g.AfterIteration(0, 1, 0, 1.4e9); got != 1.4e9 {
+		t.Fatalf("invalid sample changed the decision to %g", got)
+	}
+}
+
+func TestPhasePredictiveTotal(t *testing.T) {
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0, 1e-9, 0.5, 1, 1e300}
+	pick := func(b uint8, scale float64) float64 {
+		if int(b)%2 == 0 {
+			return specials[int(b/2)%len(specials)]
+		}
+		return float64(b) * scale
+	}
+	g := mustPhase(t, 1.4e9, PhaseSample{Compute: 0.3, MemStall: 0.3, NetWait: 0.4})
+	prop := func(it, cb, mb, nb, fb uint8) bool {
+		g.ObservePhases(int(it), PhaseSample{
+			Compute:  pick(cb, 0.01),
+			MemStall: pick(mb, 0.01),
+			NetWait:  pick(nb, 0.01),
+		})
+		got := g.AfterIteration(int(it), 1, 0, pick(fb, 1e7))
+		return !math.IsNaN(got) && !math.IsInf(got, 0) && got > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleRecorder(t *testing.T) {
+	slack := mustGov(t)
+	r := &ScheduleRecorder{G: slack}
+	f := 1.4e9
+	fracs := []float64{0.6, 0.0, 0.6, 0.6}
+	for i, frac := range fracs {
+		f = r.AfterIteration(i, 1, frac, f)
+	}
+	sched := r.Schedule()
+	if len(sched) == 0 || sched[0] != (Transition{Iter: 0, Freq: 1.4e9}) {
+		t.Fatalf("schedule must open with the start frequency: %v", sched)
+	}
+	// Replay the schedule and check it reproduces the final frequency.
+	last := sched[len(sched)-1]
+	if last.Freq != f {
+		t.Fatalf("schedule tail %v does not match final frequency %g", last, f)
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i].Freq == sched[i-1].Freq {
+			t.Fatalf("redundant transition recorded: %v", sched)
+		}
+		if sched[i].Iter <= sched[i-1].Iter {
+			t.Fatalf("non-monotone iterations: %v", sched)
+		}
+	}
+}
+
+func TestScheduleRecorderForwardsPhases(t *testing.T) {
+	inner := mustPhase(t, 0, PhaseSample{})
+	r := &ScheduleRecorder{G: inner}
+	var pa PhaseAware = r // the wrapper must remain phase-aware
+	pa.ObservePhases(0, PhaseSample{Compute: 0.001, MemStall: 0.999})
+	if got := r.AfterIteration(0, 1, 0, 1.4e9); got != 0.2e9 {
+		t.Fatalf("observation not forwarded; decision %g", got)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	ps := Policies()
+	if len(ps) < 3 {
+		t.Fatalf("policy suite has %d policies, want >= 3", len(ps))
+	}
+	for _, p := range ps {
+		if !ValidPolicy(p) {
+			t.Errorf("ValidPolicy(%q) = false", p)
+		}
+	}
+	if ValidPolicy("turbo") {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package dvfs
+
+import "fmt"
+
+// Policy names of the governor suite, as exposed by the advisory plane
+// (/v1/advise). "fixed" pins the static Pareto frequency (the oracle
+// baseline — by construction its governed run is bit-identical to the
+// ungoverned one); "slack" is the InterNodeSlack just-in-time
+// slack-reclamation governor; "phase" is the PhasePredictive governor
+// seeded from a probe run's per-rank phase trace.
+const (
+	PolicyFixed = "fixed"
+	PolicySlack = "slack"
+	PolicyPhase = "phase"
+)
+
+// Policies returns the governor policy names in canonical order.
+func Policies() []string { return []string{PolicyFixed, PolicySlack, PolicyPhase} }
+
+// ValidPolicy reports whether name is a known policy.
+func ValidPolicy(name string) bool {
+	for _, p := range Policies() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Transition is one step of a recorded frequency schedule: from iteration
+// Iter onwards the node runs at Freq [Hz]. A schedule's first transition
+// is always {0, startFrequency}.
+type Transition struct {
+	Iter int
+	Freq float64
+}
+
+// ScheduleRecorder wraps a governor and records the frequency schedule it
+// produces — one Transition per change — without altering any decision.
+// It passes phase observations through, so wrapping a PhaseAware governor
+// keeps it phase-aware.
+type ScheduleRecorder struct {
+	G Governor
+
+	transitions []Transition
+}
+
+// AfterIteration implements Governor, delegating to the wrapped governor
+// and recording the resulting schedule.
+func (r *ScheduleRecorder) AfterIteration(iter int, duration, netWaitFrac, current float64) float64 {
+	if len(r.transitions) == 0 {
+		r.transitions = append(r.transitions, Transition{Iter: 0, Freq: current})
+	}
+	nf := r.G.AfterIteration(iter, duration, netWaitFrac, current)
+	if nf != r.transitions[len(r.transitions)-1].Freq {
+		r.transitions = append(r.transitions, Transition{Iter: iter + 1, Freq: nf})
+	}
+	return nf
+}
+
+// ObservePhases implements PhaseAware by forwarding to the wrapped
+// governor when it is phase-aware.
+func (r *ScheduleRecorder) ObservePhases(iter int, s PhaseSample) {
+	if pa, ok := r.G.(PhaseAware); ok {
+		pa.ObservePhases(iter, s)
+	}
+}
+
+// Schedule returns the recorded transitions. Empty until the first
+// iteration boundary.
+func (r *ScheduleRecorder) Schedule() []Transition {
+	return append([]Transition(nil), r.transitions...)
+}
+
+// String renders a transition compactly for logs and errors.
+func (t Transition) String() string { return fmt.Sprintf("{%d @ %.2g Hz}", t.Iter, t.Freq) }

@@ -3,6 +3,7 @@ package exec
 import (
 	"testing"
 
+	"hybridperf/internal/dvfs"
 	"hybridperf/internal/machine"
 	"hybridperf/internal/workload"
 )
@@ -26,6 +27,48 @@ func benchmarkRun(b *testing.B, engine string) {
 		Cfg:    machine.Config{Nodes: 8, Cores: 8, Freq: 1.8e9},
 		Seed:   1,
 		Engine: engine,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunGoverned is the BenchmarkRun fixture under the
+// phase-predictive DVFS governor with rank 0's schedule recorded — the
+// per-iteration unit of work behind every /v1/advise policy evaluation.
+// The gap to BenchmarkRun is the all-in price of the governed path:
+// the ObservePhases counter-delta hook, the EWMA frequency decision and
+// the transition recording. Gated in CI against BENCH_5.json.
+func BenchmarkRunGoverned(b *testing.B) {
+	prof := machine.XeonE5()
+	cfg := machine.Config{Nodes: 8, Cores: 8, Freq: 1.8e9}
+	var levels []float64
+	for _, f := range prof.Frequencies {
+		if f <= cfg.Freq {
+			levels = append(levels, f)
+		}
+	}
+	req := Request{
+		Prof:   prof,
+		Spec:   workload.SP(),
+		Class:  workload.ClassS,
+		Cfg:    cfg,
+		Seed:   1,
+		Engine: EngineSequential,
+		Governor: func(rank int) dvfs.Governor {
+			g, err := dvfs.NewPhasePredictive(levels, 0, dvfs.PhaseSample{}, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rank == 0 {
+				return &dvfs.ScheduleRecorder{G: g}
+			}
+			return g
+		},
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

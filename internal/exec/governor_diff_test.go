@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"testing"
+
+	"hybridperf/internal/dvfs"
+	"hybridperf/internal/machine"
+)
+
+// governorFactories builds one per-rank governor factory per policy for a
+// run starting at cfg.Freq on prof's level grid. The phase-predictive
+// governor starts unseeded here — pure online learning — so the test also
+// exercises the ObservePhases hook in both engines.
+func governorFactories(t *testing.T, prof *machine.Profile, cfg machine.Config) map[string]func(int) dvfs.Governor {
+	t.Helper()
+	var levels []float64
+	for _, f := range prof.Frequencies {
+		if f <= cfg.Freq {
+			levels = append(levels, f)
+		}
+	}
+	return map[string]func(int) dvfs.Governor{
+		dvfs.PolicyFixed: func(int) dvfs.Governor { return dvfs.Fixed(cfg.Freq) },
+		dvfs.PolicySlack: func(int) dvfs.Governor {
+			g, err := dvfs.NewInterNodeSlack(levels, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		dvfs.PolicyPhase: func(int) dvfs.Governor {
+			g, err := dvfs.NewPhasePredictive(levels, 0, dvfs.PhaseSample{}, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		// The schedule recorder must be transparent: wrapping the slack
+		// governor keeps the run on the same trajectory as "slack" above.
+		"slack-recorded": func(int) dvfs.Governor {
+			g, err := dvfs.NewInterNodeSlack(levels, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &dvfs.ScheduleRecorder{G: g}
+		},
+	}
+}
+
+// TestGovernorEngineDifferential mirrors TestEngineDifferential for the
+// governed paths: every governor policy, on every pinned golden
+// configuration, must be bit-for-bit identical between the goroutine and
+// sequential engines — times, energies, communication profile, counter
+// totals and traces.
+func TestGovernorEngineDifferential(t *testing.T) {
+	for name, req := range goldenCases() {
+		for policy, factory := range governorFactories(t, req.Prof, req.Cfg) {
+			req := req
+			req.Governor = factory
+			req.Trace = true
+			req.Metrics = true
+			t.Run(name+"/"+policy, func(t *testing.T) {
+				gor := req
+				gor.Engine = EngineGoroutine
+				resG, err := Run(gor)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq := req
+				seq.Engine = EngineSequential
+				resS, err := Run(seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resS.Time != resG.Time {
+					t.Errorf("Time diverged: %x vs %x", resS.Time, resG.Time)
+				}
+				if resS.Energy != resG.Energy {
+					t.Errorf("Energy diverged: %+v vs %+v", resS.Energy, resG.Energy)
+				}
+				if resS.MeasuredEnergy != resG.MeasuredEnergy || resS.MeasuredUCR != resG.MeasuredUCR {
+					t.Errorf("measured energy diverged: (%x,%x) vs (%x,%x)",
+						resS.MeasuredEnergy, resS.MeasuredUCR, resG.MeasuredEnergy, resG.MeasuredUCR)
+				}
+				if resS.Comm != resG.Comm {
+					t.Errorf("communication profile diverged:\n got  %+v\n want %+v", resS.Comm, resG.Comm)
+				}
+				if resS.Totals != resG.Totals || resS.MemWait != resG.MemWait {
+					t.Errorf("counter totals diverged:\n got  %+v mem %x\n want %+v mem %x",
+						resS.Totals, resS.MemWait, resG.Totals, resG.MemWait)
+				}
+				if len(resS.Trace) != len(resG.Trace) {
+					t.Fatalf("trace lengths diverged: %d vs %d", len(resS.Trace), len(resG.Trace))
+				}
+				for j := range resG.Trace {
+					if resS.Trace[j] != resG.Trace[j] {
+						t.Fatalf("trace event %d diverged:\n got  %+v\n want %+v",
+							j, resS.Trace[j], resG.Trace[j])
+					}
+				}
+				mg, ms := resG.Metrics.Engine, resS.Metrics.Engine
+				if ms.Events != mg.Events || ms.Lookaheads != mg.Lookaheads ||
+					ms.Regions != mg.Regions || ms.Messages != mg.Messages ||
+					ms.HeapHighWater != mg.HeapHighWater || ms.MsgBytes != mg.MsgBytes {
+					t.Errorf("engine counters diverged:\n got  %+v\n want %+v", ms, mg)
+				}
+				// A Fixed governor at the starting frequency is the static
+				// oracle: bit-identical to the ungoverned run.
+				if policy == dvfs.PolicyFixed {
+					plain := req
+					plain.Governor = nil
+					plain.Engine = EngineGoroutine
+					resP, err := Run(plain)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resG.Time != resP.Time || resG.Energy != resP.Energy ||
+						resG.MeasuredEnergy != resP.MeasuredEnergy || resG.Comm != resP.Comm {
+						t.Errorf("fixed governor perturbed the ungoverned run:\n got  %+v\n want %+v",
+							resG, resP)
+					}
+				}
+			})
+		}
+	}
+}

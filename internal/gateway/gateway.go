@@ -1,10 +1,10 @@
 // Package gateway implements hybridperf-gw: a stateless fan-out front
 // for a sharded hybridperfd cluster. The gateway owns no models — it
-// routes point requests to the replica owning their (system, program)
-// key on the same consistent-hash ring the replicas use, splits /v1/batch
-// bodies into one sub-batch per owning shard, and partitions a /v1/sweep
-// configuration space across every shard so the full-space evaluation
-// parallelises over the cluster. Shard answers are merged back in the
+// routes point requests (/v1/predict, /v1/advise) to the replica owning
+// their (system, program) key on the same consistent-hash ring the
+// replicas use, splits /v1/batch bodies into one sub-batch per owning
+// shard, and partitions a /v1/sweep configuration space across every
+// shard so the full-space evaluation parallelises over the cluster. Shard answers are merged back in the
 // replicas' canonical order (and sweep frontiers recomputed with the same
 // pareto code), so a response through the gateway is byte-identical to
 // the same request served by a single daemon.
@@ -149,6 +149,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", g.observe("/v1/predict", g.handlePredict))
 	mux.HandleFunc("POST /v1/batch", g.observe("/v1/batch", g.handleBatch))
 	mux.HandleFunc("POST /v1/sweep", g.observe("/v1/sweep", g.handleSweep))
+	mux.HandleFunc("POST /v1/advise", g.observe("/v1/advise", g.handleAdvise))
 	mux.HandleFunc("GET /v1/systems", g.observe("/v1/systems", g.handleSystems))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -408,6 +409,10 @@ type shardStatusError struct {
 	peer    string
 	status  int
 	message string
+	// retryAfter is the shard's own Retry-After header on a 429/503,
+	// relayed to gateway clients so they honour the shard's backoff
+	// rather than a hardcoded hint.
+	retryAfter string
 }
 
 func (e *shardStatusError) Error() string {
@@ -417,13 +422,14 @@ func (e *shardStatusError) Error() string {
 	return fmt.Sprintf("shard %s: status %d", e.peer, e.status)
 }
 
-// post sends one sub-request to a shard and returns the response body.
-// Non-2xx answers are errors carrying the shard's error message, so the
-// annotation on a partial result explains the failure, not just names it.
-func (g *Gateway) post(r *http.Request, peer, path string, body []byte, stream bool) ([]byte, error) {
+// post sends one sub-request to a shard and returns the response body
+// and headers. Non-2xx answers are errors carrying the shard's error
+// message (and its Retry-After hint, when present), so the annotation on
+// a partial result explains the failure, not just names it.
+func (g *Gateway) post(r *http.Request, peer, path string, body []byte, stream bool) ([]byte, http.Header, error) {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, peer+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardedHeader, "gateway")
@@ -443,13 +449,13 @@ func (g *Gateway) post(r *http.Request, peer, path string, body []byte, stream b
 	resp, err := g.client.Do(req)
 	if err != nil {
 		g.mFanErr.With(peer).Inc()
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	out, err := io.ReadAll(resp.Body)
 	if err != nil {
 		g.mFanErr.With(peer).Inc()
-		return nil, err
+		return nil, resp.Header, err
 	}
 	if resp.StatusCode/100 != 2 {
 		g.mFanErr.With(peer).Inc()
@@ -459,9 +465,12 @@ func (g *Gateway) post(r *http.Request, peer, path string, body []byte, stream b
 		json.Unmarshal(out, &envelope)
 		// The body rides along so a caller can relay the shard's own error
 		// envelope verbatim (handlePredict does).
-		return out, &shardStatusError{peer: peer, status: resp.StatusCode, message: envelope.Error}
+		return out, resp.Header, &shardStatusError{
+			peer: peer, status: resp.StatusCode, message: envelope.Error,
+			retryAfter: resp.Header.Get("Retry-After"),
+		}
 	}
-	return out, nil
+	return out, resp.Header, nil
 }
 
 // handlePredict proxies a point request to the owner of its model key,
@@ -487,7 +496,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	io.Copy(io.Discard, tee) // finish teeing the raw body
 	var errs []string
 	for _, peer := range g.ring.Order(cluster.ModelKey(req.System, req.Program)) {
-		out, err := g.post(r, peer, "/v1/predict", body.Bytes(), false)
+		out, _, err := g.post(r, peer, "/v1/predict", body.Bytes(), false)
 		if err == nil {
 			var pred struct {
 				TimeS   float64 `json:"time_s"`
@@ -503,9 +512,62 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 		errs = append(errs, err.Error())
 		// A shard that produced its own HTTP answer (4xx/5xx) would answer
 		// every peer's identical computation the same way: relay its
-		// status instead of burning failover hops.
+		// status — and its backoff hint — instead of burning failover hops.
 		var httpErr *shardStatusError
 		if errors.As(err, &httpErr) {
+			if httpErr.retryAfter != "" {
+				w.Header().Set("Retry-After", httpErr.retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(httpErr.status)
+			w.Write(out)
+			return
+		}
+	}
+	httpError(w, http.StatusServiceUnavailable, "no shard could serve the request: %s", strings.Join(errs, "; "))
+}
+
+// handleAdvise proxies an advisory request to the owner of its model key,
+// exactly like handlePredict: the answer is relayed verbatim (document or
+// NDJSON stream), so a response through the gateway is byte-identical to
+// the owning shard's. The shard's cost-attribution headers are re-stamped
+// and aggregated into the gateway's per-route series.
+func (g *Gateway) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		System  string `json:"system"`
+		Program string `json:"program"`
+	}
+	body := new(bytes.Buffer)
+	tee := io.TeeReader(http.MaxBytesReader(w, r.Body, 1<<20), body)
+	if err := json.NewDecoder(tee).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	io.Copy(io.Discard, tee) // finish teeing the raw body
+	stream := wantStream(r)
+	var errs []string
+	for _, peer := range g.ring.Order(cluster.ModelKey(req.System, req.Program)) {
+		out, hdr, err := g.post(r, peer, "/v1/advise", body.Bytes(), stream)
+		if err == nil {
+			if preds, e := strconv.Atoi(hdr.Get(telemetry.PredictionsHeader)); e == nil {
+				simS, _ := strconv.ParseFloat(hdr.Get(telemetry.SimSecondsHeader), 64)
+				energyJ, _ := strconv.ParseFloat(hdr.Get(telemetry.EnergyHeader), 64)
+				g.applyAttribution(w, "/v1/advise", preds, simS, energyJ)
+			}
+			ct := hdr.Get("Content-Type")
+			if ct == "" {
+				ct = "application/json"
+			}
+			w.Header().Set("Content-Type", ct)
+			w.Write(out)
+			return
+		}
+		errs = append(errs, err.Error())
+		var httpErr *shardStatusError
+		if errors.As(err, &httpErr) {
+			if httpErr.retryAfter != "" {
+				w.Header().Set("Retry-After", httpErr.retryAfter)
+			}
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(httpErr.status)
 			w.Write(out)
@@ -672,7 +734,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sub := mustJSON(batchRequest{Class: req.Class, Engine: req.Engine, Workers: req.Workers, Tuples: tuples})
 			out := shardOut{peer: owner, tuples: len(tuples)}
-			raw, err := g.post(r, owner, "/v1/batch", sub, false)
+			raw, _, err := g.post(r, owner, "/v1/batch", sub, false)
 			if err == nil {
 				var parsed batchShardResponse
 				if uerr := json.Unmarshal(raw, &parsed); uerr != nil {
@@ -711,7 +773,13 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		merged = append(merged, res...)
 	}
 	if len(merged) == 0 && len(shardErrs) > 0 {
-		w.Header().Set("Retry-After", "1")
+		var failures []error
+		for _, o := range outs {
+			if o.err != nil {
+				failures = append(failures, o.err)
+			}
+		}
+		w.Header().Set("Retry-After", retryAfterHint(failures))
 		httpError(w, http.StatusServiceUnavailable, "all owning shards failed: %s", joinShardErrors(shardErrs))
 		return
 	}
@@ -755,7 +823,12 @@ func relayClientError(w http.ResponseWriter, err error) bool {
 		return false
 	}
 	if he.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		// The shard's own backoff hint wins; "1" only when it sent none.
+		ra := he.retryAfter
+		if ra == "" {
+			ra = "1"
+		}
+		w.Header().Set("Retry-After", ra)
 	}
 	if he.message != "" {
 		httpError(w, he.status, "%s", he.message)
@@ -775,6 +848,18 @@ func joinShardErrors(errs []shardError) string {
 
 func sortShardErrors(errs []shardError) {
 	sort.Slice(errs, func(i, j int) bool { return errs[i].Shard < errs[j].Shard })
+}
+
+// retryAfterHint returns the first shard-provided Retry-After among errs,
+// falling back to "1" when no shard offered its own backoff.
+func retryAfterHint(errs []error) string {
+	for _, err := range errs {
+		var he *shardStatusError
+		if errors.As(err, &he) && he.retryAfter != "" {
+			return he.retryAfter
+		}
+	}
+	return "1"
 }
 
 // ---------------------------------------------------------------------
@@ -885,7 +970,13 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		evaluated += len(o.pts)
 	}
 	if evaluated == 0 && len(shardErrs) > 0 {
-		w.Header().Set("Retry-After", "1")
+		var failures []error
+		for _, o := range outs {
+			if o.err != nil {
+				failures = append(failures, o.err)
+			}
+		}
+		w.Header().Set("Retry-After", retryAfterHint(failures))
 		httpError(w, http.StatusServiceUnavailable, "all shards failed: %s", joinShardErrors(shardErrs))
 		return
 	}
@@ -937,7 +1028,7 @@ func (g *Gateway) evalChunk(r *http.Request, peer string, req sweepRequest, clas
 		}
 	}
 	sub := mustJSON(batchRequest{Class: class, Engine: req.Engine, Workers: req.Workers, Tuples: tuples})
-	raw, err := g.post(r, peer, "/v1/batch", sub, false)
+	raw, _, err := g.post(r, peer, "/v1/batch", sub, false)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -37,6 +37,20 @@ func sweepCacheKey(system, program, class string, maxNodes int, pow2 bool, deadl
 	}, "\x1f")
 }
 
+// adviseCacheKey canonicalises a /v1/advise request. Callers pass
+// resolved values: class defaulted, shape validated against the profile,
+// policies canonicalised (suite order, deduplicated) and the makespan
+// tolerance resolved to its fraction. Engine and workers are excluded
+// for the same reason they are everywhere else: the advice is
+// bit-identical across engines and worker counts.
+func adviseCacheKey(system, program, class string, nodes, cores int, policies []string, maxSlowdown float64) string {
+	return strings.Join([]string{
+		"advise", system, program, class,
+		strconv.Itoa(nodes), strconv.Itoa(cores),
+		strings.Join(policies, ","), canonFloat(maxSlowdown),
+	}, "\x1f")
+}
+
 // canonTuple is one batch tuple after validation and default resolution:
 // names verified, frequency resolved to Hz (freq_ghz 0 → the profile's
 // f_max).

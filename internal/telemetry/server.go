@@ -22,6 +22,7 @@ import (
 	"hybridperf/internal/characterize"
 	"hybridperf/internal/cluster"
 	"hybridperf/internal/core"
+	"hybridperf/internal/dvfs"
 	"hybridperf/internal/exec"
 	"hybridperf/internal/machine"
 	"hybridperf/internal/metrics"
@@ -59,6 +60,10 @@ type Config struct {
 	// Retry-After. /debug/trace is exempt (it legitimately blocks for
 	// its recording window). Zero disables the per-request deadline.
 	RequestTimeout time.Duration
+	// AdviseMaxSlowdown is the default makespan tolerance for /v1/advise
+	// requests that omit max_slowdown_pct, as a fraction (<= 0 means
+	// 0.05). Must be < 1; a larger value panics in NewServer.
+	AdviseMaxSlowdown float64
 	// DefaultEngine is the simulation engine used by requests that omit
 	// the "engine" field (see exec.Engines). Empty resolves through
 	// exec.DefaultEngine ($HYBRIDPERF_ENGINE, then the goroutine
@@ -97,14 +102,15 @@ type Config struct {
 // wrapped in the telemetry stack (exposition, request logging, spans,
 // pprof). Create with NewServer, mount with Handler.
 type Server struct {
-	cfg       Config
-	log       *slog.Logger
-	reg       *Registry
-	defEngine string                     // resolved engine for requests that omit one
-	engines   map[string]*metrics.Engine // shared engine counters per engine mode
-	spans     *Spans
-	start     time.Time
-	ready     atomic.Bool
+	cfg         Config
+	log         *slog.Logger
+	reg         *Registry
+	defEngine   string                     // resolved engine for requests that omit one
+	advSlowdown float64                    // resolved default /v1/advise makespan tolerance
+	engines     map[string]*metrics.Engine // shared engine counters per engine mode
+	spans       *Spans
+	start       time.Time
+	ready       atomic.Bool
 
 	// traces retains completed sampled request traces for the
 	// GET /debug/trace/{traceid} pull endpoint.
@@ -153,6 +159,11 @@ type Server struct {
 	mRejected  *CounterVec
 	mCancelled *CounterVec
 	mByEngine  *CounterVec
+
+	// Advisory-plane series, by governor policy.
+	mAdviseEvals *CounterVec
+	mAdviseRec   *CounterVec
+	mAdviseSaved *FloatCounterVec
 
 	// Model store series (nil without a store).
 	mStoreLoads    *Counter
@@ -205,6 +216,13 @@ func NewServer(cfg Config) *Server {
 	if err := exec.ValidateEngine(defEngine); err != nil {
 		panic(fmt.Sprintf("telemetry: Config.DefaultEngine: %v", err))
 	}
+	advSlowdown := cfg.AdviseMaxSlowdown
+	if advSlowdown <= 0 {
+		advSlowdown = 0.05
+	}
+	if advSlowdown >= 1 {
+		panic(fmt.Sprintf("telemetry: Config.AdviseMaxSlowdown %g must be in (0,1)", cfg.AdviseMaxSlowdown))
+	}
 	engines := make(map[string]*metrics.Engine, 2)
 	for _, e := range exec.Engines() {
 		engines[e] = metrics.NewEngine()
@@ -220,6 +238,7 @@ func NewServer(cfg Config) *Server {
 		models:    map[modelKey]*modelEntry{},
 		sem:       make(chan struct{}, cfg.MaxCampaigns),
 	}
+	s.advSlowdown = advSlowdown
 	s.mReq = s.reg.Counter("hybridperf_http_requests_total",
 		"HTTP requests served, by route, method and status code.", "route", "method", "code")
 	s.mDur = s.reg.Histogram("hybridperf_http_request_duration_seconds",
@@ -250,8 +269,8 @@ func NewServer(cfg Config) *Server {
 		"Predicted application runtime (virtual seconds) summed over all served predictions, by route and engine.", "route", "engine")
 	mEnergy := s.reg.FloatCounter("hybridperf_predicted_energy_joules_total",
 		"Predicted energy (joules) summed over all served predictions, by route and engine.", "route", "engine")
-	s.attrib = make(map[string]map[string]attribSeries, 3)
-	for _, route := range []string{"/v1/predict", "/v1/batch", "/v1/sweep"} {
+	s.attrib = make(map[string]map[string]attribSeries, 4)
+	for _, route := range []string{"/v1/predict", "/v1/batch", "/v1/sweep", "/v1/advise"} {
 		byEngine := make(map[string]attribSeries, len(engines))
 		for _, e := range exec.Engines() {
 			byEngine[e] = attribSeries{
@@ -261,6 +280,21 @@ func NewServer(cfg Config) *Server {
 			}
 		}
 		s.attrib[route] = byEngine
+	}
+	// Advisory-plane accounting: per-policy governed evaluations, which
+	// policy the advisor recommended, and the energy each policy would
+	// have saved against the static baseline. Series exist from boot so
+	// scrapes (and the serve-smoke diff) see explicit zeros.
+	s.mAdviseEvals = s.reg.Counter("hybridperf_advise_evaluations_total",
+		"Governed advisory simulations run, by governor policy.", "policy")
+	s.mAdviseRec = s.reg.Counter("hybridperf_advise_recommended_total",
+		"Advisory responses computed, by the policy they recommended.", "policy")
+	s.mAdviseSaved = s.reg.FloatCounter("hybridperf_advise_energy_saved_joules_total",
+		"Predicted energy saved vs the ungoverned static baseline, summed over advisory evaluations, by policy.", "policy")
+	for _, p := range dvfs.Policies() {
+		s.mAdviseEvals.With(p).Add(0)
+		s.mAdviseRec.With(p).Add(0)
+		s.mAdviseSaved.With(p).Add(0)
 	}
 	// In-flight starts existing so the gauge appears on the first scrape.
 	s.mInflight.With().Set(0)
@@ -364,6 +398,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/advise", s.instrument("/v1/advise", s.handleAdvise))
 	mux.HandleFunc("GET /v1/systems", s.instrument("/v1/systems", s.handleSystems))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/trace", s.instrument("/debug/trace", s.handleDebugTrace))

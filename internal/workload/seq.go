@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hybridperf/internal/des"
+	"hybridperf/internal/dvfs"
 	"hybridperf/internal/mpi"
 	"hybridperf/internal/node"
 	"hybridperf/internal/omp"
@@ -54,6 +55,8 @@ type runM struct {
 	haloExpected int
 	iterStart    float64
 	lastNetWait  float64
+	lastCompute  float64
+	lastMemStall float64
 
 	body   bodyM // the master thread's region body (tid 0)
 	mkBody func(tid int) omp.SeqBody
@@ -192,6 +195,16 @@ func (m *runM) Step(p *des.Proc) bool {
 			if g := m.env.Governor; g != nil {
 				dur := p.Now() - m.iterStart
 				netWait := m.nd.Ctrs[0].NetWaitTime
+				if pa, ok := g.(dvfs.PhaseAware); ok {
+					compute := m.nd.Ctrs[0].WorkTime + m.nd.Ctrs[0].BStallTime
+					memStall := m.nd.Ctrs[0].MemStallTime
+					pa.ObservePhases(m.it, dvfs.PhaseSample{
+						Compute:  compute - m.lastCompute,
+						MemStall: memStall - m.lastMemStall,
+						NetWait:  netWait - m.lastNetWait,
+					})
+					m.lastCompute, m.lastMemStall = compute, memStall
+				}
 				frac := 0.0
 				if dur > 0 {
 					frac = (netWait - m.lastNetWait) / dur

@@ -274,6 +274,7 @@ func (s *Spec) Run(p *des.Proc, env *Env) error {
 	haloExpected := 0
 	iterStart := p.Now()
 	lastNetWait := 0.0
+	lastCompute, lastMemStall := 0.0, 0.0
 	for it := 0; it < iters; it++ {
 		env.Team.Parallel(p, func(th *omp.Thread) {
 			for b := 0; b < bursts; b++ {
@@ -305,6 +306,16 @@ func (s *Spec) Run(p *des.Proc, env *Env) error {
 		if env.Governor != nil {
 			dur := p.Now() - iterStart
 			netWait := nd.Ctrs[0].NetWaitTime
+			if pa, ok := env.Governor.(dvfs.PhaseAware); ok {
+				compute := nd.Ctrs[0].WorkTime + nd.Ctrs[0].BStallTime
+				memStall := nd.Ctrs[0].MemStallTime
+				pa.ObservePhases(it, dvfs.PhaseSample{
+					Compute:  compute - lastCompute,
+					MemStall: memStall - lastMemStall,
+					NetWait:  netWait - lastNetWait,
+				})
+				lastCompute, lastMemStall = compute, memStall
+			}
 			frac := 0.0
 			if dur > 0 {
 				frac = (netWait - lastNetWait) / dur
